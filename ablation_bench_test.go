@@ -1,0 +1,143 @@
+// Ablation benchmarks: each toggles one design choice DESIGN.md calls out
+// and reports the affected headline metric via b.ReportMetric, so
+// `go test -bench=Ablation` doubles as a sensitivity study.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// ablationConfig is the shared fast configuration: one year, reduced
+// volumes, Y1Q2 fully inside the horizon.
+func ablationConfig() sim.Config {
+	cfg := sim.SmallConfig()
+	cfg.Days = 240
+	cfg.QueriesPerDay = 1500
+	cfg.RegistrationsPerDay = 14
+	cfg.InitialLegit = 500
+	cfg.Seed = 17
+	return cfg
+}
+
+// fraudCompetitionMedian computes the median fraud-vs-fraud impression
+// exposure over fraud advertisers with clicks in Y1Q2 (the Figure 10
+// headline).
+func fraudCompetitionMedian(res *sim.Result) float64 {
+	study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+	win := res.Collector.Windows()[0]
+	subs := study.BuildSubsets(win, 0, 2000, stats.NewRNG(5))
+	var vals []float64
+	for _, id := range subs.FWithClicks.IDs {
+		if im, _, ok := study.CompetitionExposure(id, 0); ok {
+			vals = append(vals, im)
+		}
+	}
+	return stats.Median(vals)
+}
+
+// BenchmarkAblationKeywordPockets contrasts fraud-vs-fraud competition
+// with and without the shared affiliate keyword pockets. The pocket
+// mechanism is what produces Figure 10's extreme fraud co-occurrence.
+func BenchmarkAblationKeywordPockets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationConfig()
+		res := sim.New(with).Run()
+		b.ReportMetric(fraudCompetitionMedian(res), "fraudComp/with")
+
+		without := ablationConfig()
+		without.DisableKeywordPockets = true
+		res = sim.New(without).Run()
+		b.ReportMetric(fraudCompetitionMedian(res), "fraudComp/without")
+	}
+}
+
+// BenchmarkAblationPolicyBan contrasts techsupport fraud spend after the
+// intervention date with the ban armed vs disarmed (the Figure 8 cliff).
+func BenchmarkAblationPolicyBan(b *testing.B) {
+	tsSpendAfter := func(res *sim.Result, banDay simclock.Day) float64 {
+		study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+		byMonth := study.VerticalMonthSpend(0)
+		tsIdx := verticals.Index(verticals.TechSupport)
+		total := 0.0
+		for m, row := range byMonth {
+			if m > int(banDay)/simclock.DaysPerMonth {
+				total += row[tsIdx]
+			}
+		}
+		return total
+	}
+	for i := 0; i < b.N; i++ {
+		armed := ablationConfig()
+		armed.Detection.TechSupportBanDay = 120
+		res := sim.New(armed).Run()
+		b.ReportMetric(tsSpendAfter(res, 120), "tsSpend/banned")
+
+		control := ablationConfig()
+		control.Detection.TechSupportBanDay = 1 << 30
+		res = sim.New(control).Run()
+		b.ReportMetric(tsSpendAfter(res, 120), "tsSpend/control")
+	}
+}
+
+// BenchmarkAblationRecidivism contrasts the fraud share of registrations
+// with re-registration on vs off (recidivism inflates Figure 1's
+// registration counts without inflating activity).
+func BenchmarkAblationRecidivism(b *testing.B) {
+	fraudRegShare := func(res *sim.Result) float64 {
+		return float64(res.FraudRegistrations) / float64(res.Registrations)
+	}
+	for i := 0; i < b.N; i++ {
+		on := ablationConfig()
+		on.ReRegisterProb = 0.30
+		res := sim.New(on).Run()
+		b.ReportMetric(fraudRegShare(res), "fraudRegs/recidivism")
+
+		off := ablationConfig()
+		off.ReRegisterProb = 0
+		res = sim.New(off).Run()
+		b.ReportMetric(fraudRegShare(res), "fraudRegs/control")
+	}
+}
+
+// BenchmarkAblationDetectionImprovement contrasts the fraud activity
+// trend (late/early in-window spend) with the detection-improvement ramp
+// on vs frozen — the mechanism behind Figure 3's decline.
+func BenchmarkAblationDetectionImprovement(b *testing.B) {
+	trend := func(res *sim.Result) float64 {
+		study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+		weeks := study.WeeklyAttribution(90)
+		usable := len(weeks) - 13
+		if usable < 8 {
+			return 0
+		}
+		q := usable / 4
+		var early, late float64
+		for _, w := range weeks[:q] {
+			early += w.InSpend
+		}
+		for _, w := range weeks[usable-q : usable] {
+			late += w.InSpend
+		}
+		if early == 0 {
+			return 0
+		}
+		return late / early
+	}
+	for i := 0; i < b.N; i++ {
+		improving := ablationConfig()
+		res := sim.New(improving).Run()
+		b.ReportMetric(trend(res), "lateOverEarly/improving")
+
+		frozen := ablationConfig()
+		frozen.Detection.ImprovementEnd = 1.0
+		frozen.Detection.ScreenRejectEnd = frozen.Detection.ScreenRejectStart
+		res = sim.New(frozen).Run()
+		b.ReportMetric(trend(res), "lateOverEarly/frozen")
+	}
+}

@@ -1,0 +1,82 @@
+// Package repro reproduces "Exploring the Dynamics of Search Advertiser
+// Fraud" (DeBlasio, Guha, Voelker, Snoeren — IMC 2017) as a runnable
+// system: a search-ad ecosystem simulator standing in for the paper's
+// proprietary Bing datasets, and the paper's measurement methodology as a
+// library over the datasets the simulator emits.
+//
+// The package is a thin façade; the implementation lives in internal
+// packages:
+//
+//   - internal/sim       — the two-year ecosystem simulation
+//   - internal/core      — fraud labeling, §3.3 subsets, per-account metrics
+//   - internal/report    — one registered experiment per table/figure
+//   - internal/platform  — the ad network (accounts, ads, bids, billing)
+//   - internal/auction   — quality-scored GSP auction
+//   - internal/detection — the anti-fraud pipeline and policy engine
+//   - internal/adserver  — HTTP ad-serving front end over a snapshot
+//
+// Quickstart:
+//
+//	res := repro.Run(repro.SmallConfig())
+//	study := repro.NewStudy(res)
+//	fmt.Println(study.PreAdShutdownShare())
+//
+// Or reproduce a figure:
+//
+//	env := repro.NewEnv(res, 2000, 1)
+//	exp, _ := repro.Experiment("fig2")
+//	fmt.Println(exp.Run(env))
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Aliases for the primary public types.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult is a completed run: datasets plus headline counters.
+	SimResult = sim.Result
+	// Study is the measurement library over one run's datasets.
+	Study = core.Study
+	// Subsets is the §3.3 subset battery for one measurement window.
+	Subsets = core.Subsets
+	// Env is the experiment-harness context.
+	Env = report.Env
+	// Output is one experiment's structured result.
+	Output = report.Output
+)
+
+// SmallConfig returns the fast test-scale configuration.
+func SmallConfig() SimConfig { return sim.SmallConfig() }
+
+// MediumConfig returns the benchmark-scale configuration (full two-year
+// horizon, reduced volumes).
+func MediumConfig() SimConfig { return sim.MediumConfig() }
+
+// FullConfig returns the full-scale two-year configuration.
+func FullConfig() SimConfig { return sim.DefaultConfig() }
+
+// Run executes a simulation.
+func Run(cfg SimConfig) *SimResult { return sim.New(cfg).Run() }
+
+// NewStudy wraps a completed run in the measurement library.
+func NewStudy(res *SimResult) *Study {
+	return core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+}
+
+// NewEnv builds the experiment-harness context: the study plus the subset
+// battery for every tracked measurement window.
+func NewEnv(res *SimResult, subsetSize int, seed uint64) *Env {
+	return report.NewEnv(res, subsetSize, seed)
+}
+
+// Experiments returns every registered table/figure reproduction in paper
+// order.
+func Experiments() []report.Experiment { return report.All() }
+
+// Experiment looks up a single experiment by ID (e.g. "fig2", "table4").
+func Experiment(id string) (report.Experiment, bool) { return report.Get(id) }

@@ -1,0 +1,116 @@
+// Benchmark harness: one testing.B per table and figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark
+// measures regenerating its table/figure from the shared simulated
+// dataset; the dataset itself — the full two-year medium-scale run — is
+// built once per process and its build time reported by
+// BenchmarkDatasetBuildSmall (building the medium dataset inside a
+// benchmark loop would dwarf everything else).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var benchState struct {
+	once sync.Once
+	env  *Env
+}
+
+// benchEnv lazily builds the shared benchmark dataset: the full 1/Y1–1/Y3
+// horizon at reduced daily volume, and the §3.3 subset battery.
+func benchEnv(b *testing.B) *Env {
+	b.Helper()
+	benchState.once.Do(func() {
+		cfg := MediumConfig()
+		cfg.QueriesPerDay = 2500
+		cfg.RegistrationsPerDay = 18
+		cfg.InitialLegit = 1200
+		res := Run(cfg)
+		benchState.env = NewEnv(res, 2500, 1)
+	})
+	return benchState.env
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnv(b)
+	exp, ok := Experiment(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := exp.Run(env)
+		if out == nil {
+			b.Fatal("nil output")
+		}
+	}
+}
+
+// BenchmarkDatasetBuildSmall measures end-to-end simulation throughput at
+// test scale (registrations, campaign management, auctions, clicks,
+// detection — everything per simulated day).
+func BenchmarkDatasetBuildSmall(b *testing.B) {
+	cfg := sim.SmallConfig()
+	cfg.Days = 60
+	cfg.QueriesPerDay = 1000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := Run(cfg)
+		if res.Clicks == 0 {
+			b.Fatal("dead economy")
+		}
+	}
+}
+
+// Section 4 — scale and scope.
+
+func BenchmarkFig1RegistrationFraudShare(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkTable1FraudCountries(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig2LifetimeCDF(b *testing.B)            { benchExperiment(b, "fig2") }
+func BenchmarkFig3WeeklyActivity(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4Concentration(b *testing.B)          { benchExperiment(b, "fig4") }
+
+// Section 5 — advertiser behavior.
+
+func BenchmarkFig5ImpressionRates(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6RateVsClicks(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7AdsKeywords(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8Verticals(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkTable2SampleAds(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable3ClickGeo(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable4MatchTypes(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkFig9BiddingStyle(b *testing.B)    { benchExperiment(b, "fig9") }
+
+// Section 6 — the impact of fraud.
+
+func BenchmarkFig10CompetitionImpressions(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11CompetitionSpend(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12PositionNonfraud(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13PositionFraud(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14CTRNonfraud(b *testing.B)            { benchExperiment(b, "fig14") }
+func BenchmarkFig15CPCNonfraud(b *testing.B)            { benchExperiment(b, "fig15") }
+func BenchmarkFig16CTRFraud(b *testing.B)               { benchExperiment(b, "fig16") }
+func BenchmarkFig17CPCFraud(b *testing.B)               { benchExperiment(b, "fig17") }
+
+// BenchmarkSubsetBattery measures constructing the full §3.3 subset
+// battery (all eleven subsets) for the primary window.
+func BenchmarkSubsetBattery(b *testing.B) {
+	env := benchEnv(b)
+	win := env.Res.Collector.Windows()[0]
+	study := NewStudy(env.Res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subs := study.BuildSubsets(win, 0, 2500, benchRNG(uint64(i)))
+		if subs.Fraud.Len() == 0 {
+			b.Fatal("empty subsets")
+		}
+	}
+}

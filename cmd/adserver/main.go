@@ -1,0 +1,57 @@
+// Command adserver simulates an advertiser population, freezes the
+// resulting platform, and serves it over HTTP: live search queries in,
+// auctioned ad blocks out.
+//
+// Usage:
+//
+//	adserver [-addr :8406] [-scale small|medium] [-seed N]
+//
+// Then:
+//
+//	curl 'http://localhost:8406/search?q=free+download&country=US'
+//	curl 'http://localhost:8406/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8406", "listen address")
+	scale := flag.String("scale", "small", "bootstrap simulation scale: small or medium")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	var cfg sim.Config
+	switch *scale {
+	case "small":
+		cfg = sim.SmallConfig()
+	case "medium":
+		cfg = sim.MediumConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "adserver: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.FullCreatives = true // serve real ad copy
+
+	log.Printf("bootstrapping advertiser population (%s scale)...", *scale)
+	s := sim.New(cfg)
+	res := s.Run()
+	log.Printf("simulated %d accounts, %d live ads in %s",
+		res.Platform.NumAccounts(), res.Platform.LiveAds(), res.Elapsed.Round(1e7))
+
+	srv := adserver.New(res.Platform, s.Queries(), auction.DefaultConfig(), *seed)
+	log.Printf("serving %s on %s", srv, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

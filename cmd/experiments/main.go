@@ -1,0 +1,156 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation against a simulated two-year dataset, printing the same rows
+// and series the paper reports alongside the paper's own numbers.
+//
+// Usage:
+//
+//	experiments [-scale small|medium|full] [-seed N] [-subset N]
+//	            [-run id[,id...]] [-list] [-v]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "simulation scale: small, medium, or full")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	subset := flag.Int("subset", 3000, "target subset size (the paper uses ~10,000)")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	verbose := flag.Bool("v", false, "print simulation progress")
+	md := flag.String("md", "", "also write results as a markdown report to this file")
+	svg := flag.String("svg", "", "also write rendered figures as SVG files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range report.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var cfg sim.Config
+	switch *scale {
+	case "small":
+		cfg = sim.SmallConfig()
+	case "medium":
+		cfg = sim.MediumConfig()
+	case "full":
+		cfg = sim.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	if *verbose {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	fmt.Fprintf(os.Stderr, "simulating %d days at %d queries/day...\n", cfg.Days, cfg.QueriesPerDay)
+	res := sim.New(cfg).Run()
+	fmt.Fprintf(os.Stderr, "done in %s; building subsets...\n", res.Elapsed.Round(1e7))
+	env := report.NewEnv(res, *subset, *seed^0x5eed)
+
+	var wanted map[string]bool
+	if *run != "" {
+		wanted = map[string]bool{}
+		for _, id := range strings.Split(*run, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+	var outputs []*report.Output
+	for _, e := range report.All() {
+		if wanted != nil && !wanted[e.ID] {
+			continue
+		}
+		out := e.Run(env)
+		fmt.Println(out.String())
+		outputs = append(outputs, out)
+	}
+	if len(outputs) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -run; use -list to see IDs")
+		os.Exit(1)
+	}
+	if *md != "" {
+		if err := writeMarkdown(*md, cfg, res, outputs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "markdown report written to %s\n", *md)
+	}
+	if *svg != "" {
+		n, err := writeSVGs(*svg, outputs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%d SVG figures written to %s\n", n, *svg)
+	}
+}
+
+// writeSVGs dumps every rendered figure document to dir.
+func writeSVGs(dir string, outputs []*report.Output) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, out := range outputs {
+		for name, content := range out.SVGs {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// writeMarkdown renders the experiment outputs as a paper-vs-measured
+// markdown report (the format of EXPERIMENTS.md).
+func writeMarkdown(path string, cfg sim.Config, res *sim.Result, outputs []*report.Output) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# Experiment results\n\n")
+	fmt.Fprintf(w, "Simulation: seed=%d days=%d queries/day=%d regs/day=%g — %d registrations (%d fraud), %d auctions, %d clicks (%d fraud), elapsed %s.\n\n",
+		cfg.Seed, cfg.Days, cfg.QueriesPerDay, cfg.RegistrationsPerDay,
+		res.Registrations, res.FraudRegistrations, res.Auctions, res.Clicks, res.FraudClicks,
+		res.Elapsed.Round(1e7))
+	for _, out := range outputs {
+		fmt.Fprintf(w, "## %s — %s\n\n", out.ID, out.Title)
+		if out.Paper != "" {
+			fmt.Fprintf(w, "**Paper:** %s\n\n", out.Paper)
+		}
+		fmt.Fprintf(w, "```\n")
+		for _, l := range out.Lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintf(w, "```\n\n")
+		if len(out.Metrics) > 0 {
+			fmt.Fprintf(w, "| metric | measured |\n|---|---|\n")
+			keys := make([]string, 0, len(out.Metrics))
+			for k := range out.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "| %s | %.4g |\n", k, out.Metrics[k])
+			}
+			fmt.Fprintf(w, "\n")
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,139 @@
+// Command fraudsim runs the search-advertiser-fraud ecosystem simulation
+// and prints a run summary: scale of registrations and fraud, serving
+// volume, revenue and losses, and detection-stage counts.
+//
+// Usage:
+//
+//	fraudsim [-scale small|medium|full] [-seed N] [-days N]
+//	         [-queries N] [-regs F] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "simulation scale: small, medium, or full")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	days := flag.Int("days", 0, "override simulated days (0 = scale default)")
+	queries := flag.Int("queries", 0, "override queries per day (0 = scale default)")
+	regs := flag.Float64("regs", 0, "override registrations per day (0 = scale default)")
+	verbose := flag.Bool("v", false, "print progress every 30 simulated days")
+	export := flag.String("export", "", "directory to write the three datasets as JSON lines")
+	flag.Parse()
+
+	cfg, err := configFor(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	if *days > 0 {
+		cfg.Days = simclock.Day(*days)
+	}
+	if *queries > 0 {
+		cfg.QueriesPerDay = *queries
+	}
+	if *regs > 0 {
+		cfg.RegistrationsPerDay = *regs
+	}
+	if *verbose {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	res := sim.New(cfg).Run()
+	printSummary(res)
+
+	if *export != "" {
+		if err := exportDatasets(*export, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("datasets written to %s/{customers,activity,detections}.jsonl\n", *export)
+	}
+}
+
+// exportDatasets writes the §3.1 data sources as JSON-lines files.
+func exportDatasets(dir string, res *sim.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("customers.jsonl", func(f io.Writer) error {
+		return dataset.ExportCustomers(f, res.Platform.Accounts())
+	}); err != nil {
+		return err
+	}
+	if err := write("activity.jsonl", res.Collector.ExportActivity); err != nil {
+		return err
+	}
+	return write("detections.jsonl", res.Collector.ExportDetections)
+}
+
+func configFor(scale string) (sim.Config, error) {
+	switch scale {
+	case "small":
+		return sim.SmallConfig(), nil
+	case "medium":
+		return sim.MediumConfig(), nil
+	case "full":
+		return sim.DefaultConfig(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("fraudsim: unknown scale %q (want small, medium, or full)", scale)
+	}
+}
+
+func printSummary(res *sim.Result) {
+	fmt.Printf("simulated %d days in %s\n", res.Config.Days, res.Elapsed.Round(1e7))
+	fmt.Printf("registrations        %10d (fraud: %d, %.1f%%)\n",
+		res.Registrations, res.FraudRegistrations,
+		100*float64(res.FraudRegistrations)/float64(maxI(res.Registrations, 1)))
+	fmt.Printf("auctions held        %10d\n", res.Auctions)
+	fmt.Printf("impressions served   %10d\n", res.Impressions)
+	fmt.Printf("clicks billed        %10d (fraud: %d, %.2f%%)\n",
+		res.Clicks, res.FraudClicks, 100*float64(res.FraudClicks)/float64(maxI64(res.Clicks, 1)))
+	fmt.Printf("revenue (bid units)  %10.0f (fraud spend: %.0f)\n", res.Spend, res.FraudSpend)
+	fmt.Printf("revenue lost         %10.0f (uncollectable, stolen instruments)\n", res.RevenueLost)
+	fmt.Println("shutdowns by stage:")
+	for _, st := range []dataset.DetectionStage{
+		dataset.StageScreening, dataset.StagePayment, dataset.StageRateAnomaly,
+		dataset.StageBlacklist, dataset.StageComplaint, dataset.StagePolicy,
+		dataset.StageManualReview,
+	} {
+		if n := res.ShutdownsByStage[st]; n > 0 {
+			fmt.Printf("  %-15s %8d\n", st, n)
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

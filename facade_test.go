@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// benchRNG gives the benchmarks a deterministic per-iteration generator.
+func benchRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := SmallConfig()
+	cfg.Days = 120
+	cfg.QueriesPerDay = 800
+	cfg.RegistrationsPerDay = 10
+	cfg.InitialLegit = 250
+	cfg.Seed = 3
+	res := Run(cfg)
+	if res.Clicks == 0 {
+		t.Fatal("dead economy")
+	}
+	study := NewStudy(res)
+	if study.PreAdShutdownShare() <= 0 {
+		t.Fatal("no pre-ad shutdowns")
+	}
+	env := NewEnv(res, 500, 9)
+	if len(env.Battery) == 0 {
+		t.Fatal("no subset batteries")
+	}
+	if len(Experiments()) != 23 {
+		t.Fatalf("%d experiments registered, want 23", len(Experiments()))
+	}
+	exp, ok := Experiment("fig2")
+	if !ok {
+		t.Fatal("fig2 missing")
+	}
+	out := exp.Run(env)
+	if out.Metrics["median_account_lifetime_y1_days"] <= 0 {
+		t.Fatal("fig2 produced no lifetime")
+	}
+}

@@ -1,0 +1,142 @@
+package adcopy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// Creative is the textual content of one ad: title, body, the display URL
+// shown to the user and the destination URL a click lands on.
+type Creative struct {
+	Title       string
+	Body        string
+	DisplayURL  string
+	DestURL     string
+	HasPhone    bool // body advertises a phone number (techsupport model)
+	EvasionUsed bool // lookalike/diacritic/phone-format evasion applied
+}
+
+// template pairs a title and body pattern; %s slots take a keyword phrase.
+type template struct {
+	title, body string
+	phone       bool
+}
+
+// verticalTemplates capture the ad styles of Table 2 plus generic forms.
+var verticalTemplates = map[verticals.Vertical][]template{
+	verticals.TechSupport: {
+		{"Install Printer", "Call Our Helpline Number. Online Printer Support By Experts.", true},
+		{"Fix %s Now", "Certified Technicians Standing By. Call Toll Free For Instant Help.", true},
+		{"%s Support Line", "24/7 Expert Help For All Brands. One Call Fixes It All.", true},
+	},
+	verticals.Downloads: {
+		{"Discord Free Download", "Latest 2017 Version. 100%% Free! Instantly Download Discord Now!", false},
+		{"Get %s Free", "Safe & Fast Download. No Registration Needed. Start Now!", false},
+		{"%s - Official Download", "Latest Version. Virus Checked. One Click Install.", false},
+	},
+	verticals.Luxury: {
+		{"75%% Off COACH Factory Outlet", "Enjoy 75%% Off & High Quality COACH Bags & Purses. Winter Sale Limited Time Offer", false},
+		{"%s Up To 80%% Off", "Authentic Quality, Outlet Prices. Free Shipping On All Orders!", false},
+	},
+	verticals.Wrinkles: {
+		{"Best Anti Wrinkle Cream", "Premium Skin Care Product! Removes Wrinkles in Weeks! Clinically Proven", false},
+		{"%s That Works", "Dermatologist Recommended. See Results In Days. Order Your Trial!", false},
+	},
+	verticals.Impersonation: {
+		{"Target - Online Shopping", "Store Hours & Locations. Go To Target.com Online Shopping Now.", false},
+		{"%s - Official Site", "Watch, Shop & Stream. Millions Of Users. Join Free Today.", false},
+	},
+	verticals.WeightLoss: {
+		{"Lose 20lbs In 3 Weeks", "Miracle %s Doctors Don't Want You To Know. Free Trial Bottle!", false},
+	},
+	verticals.Flights: {
+		{"Flights From $39", "Compare 500+ Airlines For %s. Book Now & Save Big!", false},
+	},
+	verticals.Shopping: {
+		{"%s - 70%% Off Today", "Flash Sale Ends Soon. Free Shipping Worldwide. Shop Now!", false},
+	},
+	verticals.Games: {
+		{"Play %s Free", "No Download Needed. Millions Of Players Online. Play Instantly!", false},
+	},
+	verticals.Chronic: {
+		{"End %s Naturally", "Breakthrough Formula. Relief In Minutes. Doctors Amazed!", false},
+	},
+	verticals.Phishing: {
+		{"%s - Secure Login", "Access Your Account Online. Fast & Secure Sign In.", false},
+	},
+}
+
+var genericTemplates = []template{
+	{"%s | Official Site", "Top Rated Provider. Trusted By Thousands. Get A Free Quote Today.", false},
+	{"Best %s 2017", "Compare Top Options Side By Side. Independent Reviews & Ratings.", false},
+	{"%s - Save Today", "Quality Service At Great Prices. Satisfaction Guaranteed.", false},
+	{"Affordable %s", "Licensed & Insured Professionals. Call Or Book Online.", false},
+}
+
+// Generator produces creatives, domains and URLs for one advertiser.
+type Generator struct {
+	rng *stats.RNG
+}
+
+// NewGenerator returns an ad copy generator over the given RNG.
+func NewGenerator(rng *stats.RNG) *Generator {
+	return &Generator{rng: rng}
+}
+
+// Creative builds an ad creative for a keyword phrase in the given
+// vertical. Fraudulent creatives may apply blacklist evasion; evade
+// controls the probability of applying a text transform.
+func (g *Generator) Creative(v verticals.Vertical, phrase, domain string, evade float64) Creative {
+	tmpls := verticalTemplates[v]
+	if len(tmpls) == 0 {
+		tmpls = genericTemplates
+	}
+	t := tmpls[g.rng.Intn(len(tmpls))]
+	title := t.title
+	if strings.Contains(title, "%s") {
+		title = fmt.Sprintf(title, titleCase(phrase))
+	}
+	body := t.body
+	if strings.Contains(body, "%s") {
+		body = fmt.Sprintf(body, phrase)
+	}
+	c := Creative{
+		Title:      title,
+		Body:       body,
+		DisplayURL: "www." + domain,
+		DestURL:    "http://" + domain + "/lp?k=" + strings.ReplaceAll(phrase, " ", "+"),
+		HasPhone:   t.phone,
+	}
+	if t.phone {
+		// Techsupport ads monetize via a phone call, which "circumvents
+		// Bing's billing mechanisms by not requiring a click" (§5.2.4), so
+		// the number itself is a blacklisted pattern; advertisers obfuscate.
+		num := g.phoneNumber()
+		if g.rng.Bool(evade) {
+			num = ObfuscatePhone(g.rng, num)
+			c.EvasionUsed = true
+		}
+		c.Body += " " + num
+	} else if g.rng.Bool(evade * 0.5) {
+		c.Title = LookalikeTransform(g.rng, c.Title)
+		c.EvasionUsed = true
+	}
+	return c
+}
+
+func (g *Generator) phoneNumber() string {
+	return fmt.Sprintf("1-800-%03d-%04d", 100+g.rng.Intn(900), g.rng.Intn(10000))
+}
+
+func titleCase(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if len(f) > 0 {
+			fields[i] = strings.ToUpper(f[:1]) + f[1:]
+		}
+	}
+	return strings.Join(fields, " ")
+}

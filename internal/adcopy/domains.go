@@ -1,0 +1,91 @@
+package adcopy
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Domain kinds. Fraudulent advertisers mostly use domains "unique to that
+// account", with the shared exceptions being URL shorteners and affiliate
+// program domains (§5.2.4).
+const (
+	DomainUnique    = "unique"
+	DomainShortener = "shortener"
+	DomainAffiliate = "affiliate"
+)
+
+// Shared third-party domains that serve both fraudulent and non-fraudulent
+// traffic and therefore cannot be blacklisted outright.
+var (
+	Shorteners = []string{"bit.ly", "tinyurl.com", "goo.gl", "ow.ly"}
+	Affiliates = []string{"maxbounty.com", "clickbank.net", "cj.com", "shareasale.com"}
+)
+
+var domainWords = []string{
+	"best", "top", "my", "the", "go", "get", "pro", "fast", "easy", "smart",
+	"deal", "shop", "buy", "save", "prime", "mega", "ultra", "quick", "star",
+	"first", "plus", "max", "net", "web", "site", "hub", "zone", "spot",
+	"store", "mart", "world", "land", "place", "point", "direct", "express",
+}
+
+var tlds = []string{".com", ".net", ".info", ".biz", ".org", ".co"}
+
+// DomainGenerator mints advertiser domains. Uniqueness is guaranteed per
+// generator by a serial suffix on collision.
+type DomainGenerator struct {
+	rng  *stats.RNG
+	used map[string]bool
+	seq  int
+}
+
+// NewDomainGenerator returns a domain generator over the given RNG.
+func NewDomainGenerator(rng *stats.RNG) *DomainGenerator {
+	return &DomainGenerator{rng: rng, used: make(map[string]bool)}
+}
+
+// Unique mints a fresh domain never returned before by this generator.
+func (g *DomainGenerator) Unique() string {
+	for {
+		w1 := domainWords[g.rng.Intn(len(domainWords))]
+		w2 := domainWords[g.rng.Intn(len(domainWords))]
+		tld := tlds[g.rng.Intn(len(tlds))]
+		d := w1 + w2 + tld
+		if g.rng.Bool(0.3) {
+			g.seq++
+			d = fmt.Sprintf("%s%s%d%s", w1, w2, g.seq, tld)
+		}
+		if !g.used[d] {
+			g.used[d] = true
+			return d
+		}
+		g.seq++
+	}
+}
+
+// Shortener returns one of the shared URL-shortener domains.
+func (g *DomainGenerator) Shortener() string {
+	return Shorteners[g.rng.Intn(len(Shorteners))]
+}
+
+// Affiliate returns one of the shared affiliate-program domains.
+func (g *DomainGenerator) Affiliate() string {
+	return Affiliates[g.rng.Intn(len(Affiliates))]
+}
+
+// IsShared reports whether d is a shared third-party domain (shortener or
+// affiliate) that also serves non-fraudulent traffic and so must not be
+// blacklisted.
+func IsShared(d string) bool {
+	for _, s := range Shorteners {
+		if d == s {
+			return true
+		}
+	}
+	for _, a := range Affiliates {
+		if d == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+package adserver
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/adcopy"
+	"repro/internal/auction"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/queries"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// serverFixture builds a frozen platform with a few advertisers bidding on
+// the downloads vertical's head keyword and wraps it in a Server.
+func serverFixture(t *testing.T) (*Server, *queries.Generator) {
+	t.Helper()
+	p := platform.New()
+	gen := queries.NewGenerator(stats.NewRNG(1))
+	u := gen.UniverseFor(verticals.Downloads)
+	for i := 0; i < 5; i++ {
+		a := p.Register(platform.RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Downloads})
+		if err := p.Approve(a.ID); err != nil {
+			t.Fatal(err)
+		}
+		ad, err := p.CreateAd(a.ID, verticals.Downloads, market.US,
+			adcopy.Creative{Title: "Get It Now", DisplayURL: "www.x.com"},
+			0.4+0.1*float64(i), simclock.StampAt(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := platform.MatchTypes[i%3]
+		kw := u.Keywords[0]
+		if err := p.AddBid(ad, platform.KeywordBid{
+			KeywordID: kw.ID, Cluster: kw.Cluster, Match: match, MaxBid: 1 + float64(i)*0.3,
+		}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(p, gen, auction.DefaultConfig(), 42), gen
+}
+
+func TestResolveBareExtendedReordered(t *testing.T) {
+	s, gen := serverFixture(t)
+	u := gen.UniverseFor(verticals.Downloads)
+	phrase := u.Keywords[0].Phrase // "free download"
+
+	ref, form, ok := s.Resolve(phrase)
+	if !ok || form != platform.FormBare || ref.vertical != verticals.Downloads || ref.keywordID != 0 {
+		t.Fatalf("bare resolve: %+v %v %v", ref, form, ok)
+	}
+	_, form, ok = s.Resolve("best " + phrase + " now")
+	if !ok || form != platform.FormExtended {
+		t.Fatalf("extended resolve: form %v ok %v", form, ok)
+	}
+	_, form, ok = s.Resolve("download totally free")
+	if !ok || form != platform.FormReordered {
+		t.Fatalf("reordered resolve: form %v ok %v", form, ok)
+	}
+	if _, _, ok = s.Resolve("zzz qqq xxx"); ok {
+		t.Fatal("garbage resolved")
+	}
+	if _, _, ok = s.Resolve(""); ok {
+		t.Fatal("empty query resolved")
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, gen := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	phrase := gen.UniverseFor(verticals.Downloads).Keywords[0].Phrase
+	resp, err := c.Search(phrase, market.US)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Vertical != string(verticals.Downloads) || resp.Form != "bare" {
+		t.Fatalf("resolution: %+v", resp)
+	}
+	if len(resp.Ads) == 0 {
+		t.Fatal("no ads served for head keyword")
+	}
+	prev := 0
+	for _, ad := range resp.Ads {
+		if ad.Position <= prev {
+			t.Fatal("positions not increasing")
+		}
+		prev = ad.Position
+		if ad.CPC <= 0 {
+			t.Fatalf("non-positive CPC %v", ad.CPC)
+		}
+	}
+}
+
+func TestSearchWrongMarketServesNothing(t *testing.T) {
+	s, gen := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	phrase := gen.UniverseFor(verticals.Downloads).Keywords[0].Phrase
+	resp, err := c.Search(phrase, market.DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ads) != 0 {
+		t.Fatal("ads served into an untargeted market")
+	}
+}
+
+func TestSearchMissingQueryIs400(t *testing.T) {
+	s, _ := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s, gen := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatal("unhealthy")
+	}
+
+	c := NewClient(ts.URL)
+	phrase := gen.UniverseFor(verticals.Downloads).Keywords[0].Phrase
+	if _, err := c.Search(phrase, market.US); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search("zzz qqq", market.US); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 1 || st.NoMatch != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Accounts != 5 || st.LiveAds != 5 {
+		t.Fatalf("platform stats %+v", st)
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	s, gen := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	phrase := gen.UniverseFor(verticals.Downloads).Keywords[0].Phrase
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < 20; i++ {
+				if _, err := c.Search(phrase, market.US); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, _ := NewClient(ts.URL).Stats()
+	if st.Served != 160 {
+		t.Fatalf("served %d, want 160", st.Served)
+	}
+}
+
+func TestGenerateLoad(t *testing.T) {
+	s, gen := serverFixture(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	res := GenerateLoad(NewClient(ts.URL), gen, 60, 4, 7)
+	if res.Requests != 60 {
+		t.Fatalf("requests %d", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors %d", res.Errors)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP95 < res.LatencyP50 {
+		t.Fatalf("latency stats %v / %v", res.LatencyP50, res.LatencyP95)
+	}
+}
+
+func TestContainsHelpers(t *testing.T) {
+	if !containsInOrder([]string{"a", "b", "c"}, []string{"b", "c"}) {
+		t.Fatal("suffix not found")
+	}
+	if containsInOrder([]string{"a", "c", "b"}, []string{"b", "c"}) {
+		t.Fatal("out-of-order accepted")
+	}
+	if !containsAll([]string{"x", "b", "c"}, []string{"c", "b"}) {
+		t.Fatal("set containment failed")
+	}
+	if containsAll([]string{"a"}, []string{"a", "b"}) {
+		t.Fatal("missing token accepted")
+	}
+	if containsAll([]string{"a"}, nil) || containsInOrder([]string{"a"}, nil) {
+		t.Fatal("empty needle accepted")
+	}
+}

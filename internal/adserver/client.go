@@ -1,0 +1,139 @@
+package adserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/market"
+	"repro/internal/queries"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// Client is a typed HTTP client for the ad server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL (e.g.
+// "http://127.0.0.1:8406").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Search issues one query.
+func (c *Client) Search(q string, country market.Country) (*SearchResponse, error) {
+	u := fmt.Sprintf("%s/search?q=%s&country=%s", c.BaseURL, url.QueryEscape(q), country)
+	resp, err := c.HTTP.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("adserver client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("adserver client: status %s", resp.Status)
+	}
+	var out SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("adserver client: decode: %w", err)
+	}
+	return &out, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LoadResult summarizes a load-generation run.
+type LoadResult struct {
+	Requests   int
+	Errors     int
+	AdsServed  int
+	Clicks     int
+	Elapsed    time.Duration
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+}
+
+// GenerateLoad fires n queries at the server from `workers` concurrent
+// clients, drawing query phrases from the keyword universes (with random
+// decoration so all three match forms are exercised).
+func GenerateLoad(c *Client, gen *queries.Generator, n, workers int, seed uint64) LoadResult {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu        sync.Mutex
+		res       LoadResult
+		latencies []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed + uint64(w)*7919)
+			countries := market.NewTrafficSampler(rng.ForkNamed("countries"))
+			verts := verticals.All()
+			for i := 0; i < per; i++ {
+				vi := rng.Intn(len(verts))
+				u := gen.Universe(vi)
+				kw := u.Keywords[rng.Intn(u.Size())]
+				q := kw.Phrase
+				switch rng.Intn(3) {
+				case 1:
+					q = "best " + q + " today"
+				case 2:
+					q = "cheap " + q
+				}
+				t0 := time.Now()
+				resp, err := c.Search(q, countries.Sample())
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Requests++
+				latencies = append(latencies, lat)
+				if err != nil {
+					res.Errors++
+				} else {
+					res.AdsServed += len(resp.Ads)
+					for _, ad := range resp.Ads {
+						if ad.Clicked {
+							res.Clicks++
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		ls := make([]float64, len(latencies))
+		for i, l := range latencies {
+			ls[i] = float64(l)
+		}
+		res.LatencyP50 = time.Duration(stats.Quantile(ls, 0.5))
+		res.LatencyP95 = time.Duration(stats.Quantile(ls, 0.95))
+	}
+	return res
+}

@@ -1,0 +1,282 @@
+// Package adserver exposes the ad platform the way Bing's serving stack
+// fronts its auction: an HTTP service that accepts live search queries,
+// resolves them against the keyword universes, runs the auction, rolls
+// the click model, and returns the rendered ad block as JSON.
+//
+// The server operates over a read-only snapshot of a simulated platform
+// (accounts frozen, index immutable), so request handling is lock-free
+// and safe for arbitrary concurrency; per-request auction scratch comes
+// from a sync.Pool.
+package adserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adcopy"
+	"repro/internal/auction"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/queries"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// kwRef locates one keyword in one vertical's universe.
+type kwRef struct {
+	verticalIdx int
+	vertical    verticals.Vertical
+	keywordID   int
+	cluster     int
+}
+
+// Server is the HTTP ad front end.
+type Server struct {
+	p    *platform.Platform
+	cfg  auction.Config
+	gen  *queries.Generator
+	mux  *http.ServeMux
+	rngs sync.Pool // *stats.RNG for click rolls
+	scr  sync.Pool // *auction.Scratch
+
+	// exact maps a canonical keyword phrase to its reference; tokens is
+	// an inverted token index for fuzzy resolution.
+	exact  map[string]kwRef
+	tokens map[string][]kwRef
+
+	served  atomic.Int64
+	clicks  atomic.Int64
+	noMatch atomic.Int64
+}
+
+// New builds a server over a frozen platform snapshot. The query
+// generator supplies the keyword universes used for query resolution.
+func New(p *platform.Platform, gen *queries.Generator, cfg auction.Config, seed uint64) *Server {
+	s := &Server{
+		p:      p,
+		cfg:    cfg,
+		gen:    gen,
+		exact:  make(map[string]kwRef),
+		tokens: make(map[string][]kwRef),
+	}
+	var seedCounter atomic.Uint64
+	s.rngs.New = func() interface{} {
+		return stats.NewRNG(seed ^ (0x9e37_79b9*seedCounter.Add(1) + 1))
+	}
+	s.scr.New = func() interface{} { return &auction.Scratch{} }
+
+	for vi := range verticals.All() {
+		u := gen.Universe(vi)
+		for _, kw := range u.Keywords {
+			ref := kwRef{verticalIdx: vi, vertical: u.Vertical, keywordID: kw.ID, cluster: kw.Cluster}
+			key := strings.Join(kw.Tokens, " ")
+			if _, dup := s.exact[key]; !dup {
+				s.exact[key] = ref
+			}
+			for _, t := range kw.Tokens {
+				// Cap inverted lists: common tokens would otherwise
+				// explode; resolution only needs a few candidates.
+				if len(s.tokens[t]) < 64 {
+					s.tokens[t] = append(s.tokens[t], ref)
+				}
+			}
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Resolve maps free query text to a keyword reference and the query form
+// (bare / extended / reordered), mirroring the matcher's normalization.
+func (s *Server) Resolve(q string) (kwRef, platform.QueryForm, bool) {
+	toks := adcopy.Tokenize(q)
+	if len(toks) == 0 {
+		return kwRef{}, 0, false
+	}
+	key := strings.Join(toks, " ")
+	if ref, ok := s.exact[key]; ok {
+		return ref, platform.FormBare, true
+	}
+	// Extended: some keyword's token sequence appears in order within the
+	// query. Try candidates sharing the rarest token.
+	best, bestLen := kwRef{}, 0
+	form := platform.FormReordered
+	for _, t := range toks {
+		for _, ref := range s.tokens[t] {
+			ktoks := s.gen.Universe(ref.verticalIdx).Keywords[ref.keywordID].Tokens
+			if len(ktoks) <= bestLen {
+				continue
+			}
+			if containsInOrder(toks, ktoks) {
+				best, bestLen, form = ref, len(ktoks), platform.FormExtended
+			} else if form != platform.FormExtended && containsAll(toks, ktoks) {
+				best, bestLen, form = ref, len(ktoks), platform.FormReordered
+			}
+		}
+	}
+	if bestLen > 0 {
+		return best, form, true
+	}
+	return kwRef{}, 0, false
+}
+
+// containsInOrder reports whether needle appears as a contiguous
+// subsequence of hay.
+func containsInOrder(hay, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(hay) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		for j, n := range needle {
+			if hay[i+j] != n {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// containsAll reports whether every needle token occurs somewhere in hay.
+func containsAll(hay, needle []string) bool {
+	if len(needle) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(hay))
+	for _, h := range hay {
+		set[h] = true
+	}
+	for _, n := range needle {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// AdResponse is one served ad in the JSON reply.
+type AdResponse struct {
+	Position   int     `json:"position"`
+	Mainline   bool    `json:"mainline"`
+	Advertiser int32   `json:"advertiser"`
+	Title      string  `json:"title,omitempty"`
+	Body       string  `json:"body,omitempty"`
+	DisplayURL string  `json:"displayUrl"`
+	MatchType  string  `json:"matchType"`
+	CPC        float64 `json:"cpc"`
+	Clicked    bool    `json:"clicked"`
+}
+
+// SearchResponse is the /search reply.
+type SearchResponse struct {
+	Query    string       `json:"query"`
+	Vertical string       `json:"vertical"`
+	Keyword  string       `json:"keyword"`
+	Form     string       `json:"form"`
+	Country  string       `json:"country"`
+	Ads      []AdResponse `json:"ads"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	country := market.Country(r.URL.Query().Get("country"))
+	if country == "" {
+		country = market.US
+	}
+	ref, form, ok := s.Resolve(q)
+	if !ok {
+		s.noMatch.Add(1)
+		writeJSON(w, SearchResponse{Query: q, Country: string(country)})
+		return
+	}
+	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
+	eligible := s.p.Index().Eligible(ref.vertical, country, ref.keywordID, ref.cluster, form, alive)
+
+	scr := s.scr.Get().(*auction.Scratch)
+	res := auction.RunInto(s.cfg, eligible, form, scr)
+
+	rng := s.rngs.Get().(*stats.RNG)
+	resp := SearchResponse{
+		Query:    q,
+		Vertical: string(ref.vertical),
+		Keyword:  s.gen.Universe(ref.verticalIdx).Keywords[ref.keywordID].Phrase,
+		Form:     form.String(),
+		Country:  string(country),
+	}
+	for _, pl := range res.Placements {
+		clicked := rng.Bool(0.1 * pl.Ref.Ad.Quality * pl.Relevance)
+		if clicked {
+			s.clicks.Add(1)
+		}
+		resp.Ads = append(resp.Ads, AdResponse{
+			Position:   pl.Position,
+			Mainline:   pl.Mainline,
+			Advertiser: int32(pl.Ref.Ad.Account),
+			Title:      pl.Ref.Ad.Creative.Title,
+			Body:       pl.Ref.Ad.Creative.Body,
+			DisplayURL: pl.Ref.Ad.Creative.DisplayURL,
+			MatchType:  pl.Ref.Bid.Match.String(),
+			CPC:        pl.Price,
+			Clicked:    clicked,
+		})
+	}
+	s.rngs.Put(rng)
+	s.scr.Put(scr)
+	s.served.Add(1)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// Stats is the /stats reply.
+type Stats struct {
+	Served    int64 `json:"served"`
+	Clicks    int64 `json:"clicks"`
+	NoMatch   int64 `json:"noMatch"`
+	Accounts  int   `json:"accounts"`
+	LiveAds   int   `json:"liveAds"`
+	IndexBids int   `json:"indexBids"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, Stats{
+		Served:    s.served.Load(),
+		Clicks:    s.clicks.Load(),
+		NoMatch:   s.noMatch.Load(),
+		Accounts:  s.p.NumAccounts(),
+		LiveAds:   s.p.LiveAds(),
+		IndexBids: s.p.Index().Len(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing sensible to do but record it
+		// in the response state (headers are already out).
+		_ = err
+	}
+}
+
+// String summarizes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("adserver(accounts=%d liveAds=%d)", s.p.NumAccounts(), s.p.LiveAds())
+}

@@ -1,0 +1,259 @@
+package agents
+
+import (
+	"sort"
+
+	"repro/internal/adcopy"
+	"repro/internal/dataset"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Agent binds a sampled Profile to a live platform account and executes
+// its campaign-management behavior day by day.
+type Agent struct {
+	Profile
+	Account platform.AccountID
+
+	// StartDay is the first day the agent manages campaigns; first-ad
+	// delays separate registration time from first ad creation (the two
+	// lifetime baselines of Figure 2).
+	StartDay simclock.Day
+	// startFrac is the within-day fraction of the first campaign action.
+	startFrac float64
+
+	domains []string
+	rng     *stats.RNG
+}
+
+// Runtime executes agent behavior against a platform and records campaign
+// actions into the collector. One Runtime serves all agents.
+type Runtime struct {
+	p        *platform.Platform
+	col      *dataset.Collector
+	universe func(verticalIdx int) *adcopy.Universe
+	copygen  *adcopy.Generator
+	domgen   *adcopy.DomainGenerator
+	rng      *stats.RNG
+
+	// FullCreatives enables full ad-copy text generation. Large runs keep
+	// it off: the text does not influence the auction (quality and the
+	// detectability flags are carried separately) and would dominate
+	// memory at millions of ads.
+	FullCreatives bool
+}
+
+// NewRuntime constructs the agent runtime. universe resolves a vertical
+// index to its keyword universe (typically queries.Generator.Universe).
+func NewRuntime(p *platform.Platform, col *dataset.Collector, universe func(int) *adcopy.Universe, rng *stats.RNG) *Runtime {
+	return &Runtime{
+		p:        p,
+		col:      col,
+		universe: universe,
+		copygen:  adcopy.NewGenerator(rng.ForkNamed("adcopy")),
+		domgen:   adcopy.NewDomainGenerator(rng.ForkNamed("domains")),
+		rng:      rng.ForkNamed("agent-runtime"),
+	}
+}
+
+// Spawn creates the Agent runtime state for a newly approved account.
+func (r *Runtime) Spawn(prof Profile, acct platform.AccountID, created simclock.Stamp) *Agent {
+	a := &Agent{
+		Profile: prof,
+		Account: acct,
+		rng:     r.rng.Fork(),
+	}
+	// First-ad delay: fraudulent accounts post almost immediately (their
+	// clock is ticking); legitimate advertisers take days to build out.
+	var delay float64
+	if prof.Fraud {
+		delay = a.rng.Range(0.05, 1.5)
+	} else {
+		delay = a.rng.Range(0.5, 10)
+	}
+	start := simclock.Stamp(float64(created) + delay)
+	a.StartDay = start.Day()
+	a.startFrac = float64(start) - float64(start.Day())
+	n := prof.NumDomains
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if prof.UsesShared && i == n-1 {
+			if a.rng.Bool(0.5) {
+				a.domains = append(a.domains, r.domgen.Shortener())
+			} else {
+				a.domains = append(a.domains, r.domgen.Affiliate())
+			}
+		} else {
+			a.domains = append(a.domains, r.domgen.Unique())
+		}
+	}
+	return a
+}
+
+// Domains returns the agent's landing domains.
+func (a *Agent) Domains() []string { return a.domains }
+
+// Hijack converts a live agent to attacker control: the account keeps its
+// identity, payment standing and history, but from `day` it runs the
+// attacker's campaigns ("attackers ... compromise the accounts of
+// existing legitimate advertisers" §2). The old portfolio keeps serving —
+// abandoning it would only draw attention — while the attacker builds out
+// on fresh domains.
+func (r *Runtime) Hijack(a *Agent, takeover Profile, day simclock.Day) {
+	takeover.Country = a.Country // the account's registration is unchanged
+	a.Profile = takeover
+	a.StartDay = day
+	a.domains = []string{r.domgen.Unique()}
+}
+
+// Step runs one day of campaign management for a live agent. It returns
+// the number of ads created (zero when the agent is dormant or its account
+// is no longer active).
+func (r *Runtime) Step(a *Agent, day simclock.Day) int {
+	acct := r.p.MustAccount(a.Account)
+	if !acct.Alive() || day < a.StartDay {
+		return 0
+	}
+	created := 0
+
+	// Build out toward the target portfolio.
+	deficit := a.PortfolioSize - len(acct.Ads)
+	build := a.BuildPerDay
+	if build > deficit {
+		build = deficit
+	}
+	for i := 0; i < build; i++ {
+		if r.createAd(a, day) {
+			created++
+		}
+	}
+
+	// Churn: replace ads, discontinuing old campaigns before starting new
+	// ones (§7 observes both strategies; replacement is the common case).
+	if n := stats.Poisson(a.rng, a.ChurnRate); n > 0 && len(acct.Ads) > 0 {
+		if n > len(acct.Ads) {
+			n = len(acct.Ads)
+		}
+		for i := 0; i < n; i++ {
+			old := acct.Ads[a.rng.Intn(len(acct.Ads))]
+			r.p.RetireAd(old)
+			if r.createAd(a, day) {
+				created++
+			}
+		}
+	}
+
+	// Maintenance: modify creatives and bids at the agent's cadence.
+	// Fraudulent advertisers "appear to maintain their ads and keyword
+	// sets at rates similar to other advertisers" (§5.2).
+	if a.rng.Bool(a.MaintainRate) && len(acct.Ads) > 0 {
+		mods := 1 + a.rng.Intn(3)
+		for i := 0; i < mods && len(acct.Ads) > 0; i++ {
+			ad := acct.Ads[a.rng.Intn(len(acct.Ads))]
+			r.p.ModifyAd(ad, ad.Creative)
+			r.col.Campaign(day, a.Account, dataset.ActionAdModify, 1)
+			if len(ad.Bids) > 0 {
+				bid := ad.Bids[a.rng.Intn(len(ad.Bids))]
+				r.p.ModifyBid(ad, bid, bid.MaxBid*a.rng.Range(0.85, 1.2))
+				r.col.Campaign(day, a.Account, dataset.ActionKwModify, 1)
+			}
+		}
+	}
+	return created
+}
+
+// createAd posts one ad with its keyword bids.
+func (r *Runtime) createAd(a *Agent, day simclock.Day) bool {
+	u := r.universe(a.VerticalIdx)
+	if u == nil || u.Size() == 0 {
+		return false
+	}
+	domain := a.domains[a.rng.Intn(len(a.domains))]
+	kws := u.SampleKeywords(a.rng, a.KeywordsPerAd, a.KeywordSkew, a.PocketStart, a.PocketSpan)
+
+	var creative adcopy.Creative
+	if r.FullCreatives {
+		creative = r.copygen.Creative(a.Vertical, u.Keywords[kws[0]].Phrase, domain, a.Evasion)
+	} else {
+		// Carry only the fields detection and analysis consume.
+		creative = adcopy.Creative{
+			DisplayURL:  "www." + domain,
+			DestURL:     "http://" + domain + "/",
+			HasPhone:    a.Vertical == "techsupport",
+			EvasionUsed: a.Evasion > 0 && a.rng.Bool(a.Evasion),
+		}
+	}
+
+	quality := clamp(a.Quality+0.05*a.rng.NormFloat64(), 0.02, 1)
+	at := simclock.StampAt(day, a.rng.Float64())
+	// On the agent's first active day the random within-day fraction can
+	// land before the account's registration stamp; campaign actions must
+	// never precede the account itself.
+	if created := r.p.MustAccount(a.Account).Created; at < created {
+		at = created + 0.01
+	}
+	ad, err := r.p.CreateAd(a.Account, a.Vertical, a.Target, creative, quality, at)
+	if err != nil {
+		return false
+	}
+	r.col.Campaign(day, a.Account, dataset.ActionAdCreate, 1)
+
+	def := market.Get(a.Target).DefaultMaxBid
+	vinfo := r.vertInfoBid(a)
+	// Draw a match type per keyword slot, then pair exact matches with the
+	// most popular keywords: advertisers place exact bids on the
+	// high-volume queries they know, and spray phrase/broad over the tail.
+	matches := make([]platform.MatchType, len(kws))
+	for i := range matches {
+		matches[i] = platform.MatchTypes[stats.Categorical(a.rng, a.MatchMix[:])]
+	}
+	sort.Ints(kws) // ascending keyword ID == descending popularity
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	for i, kw := range kws {
+		match := matches[i]
+		// "the median maximum bid is the same as the default amount in US
+		// markets" (§5.3): a majority of advertisers keep the default;
+		// the rest bid to their vertical's level.
+		maxBid := def
+		if !a.rng.Bool(a.DefaultBidProb) {
+			maxBid = def * vinfo * a.BidScale * clamp(1+0.3*a.rng.NormFloat64(), 0.3, 3)
+		}
+		bid := platform.KeywordBid{
+			KeywordID: kw,
+			Cluster:   u.Keywords[kw].Cluster,
+			Match:     match,
+			MaxBid:    maxBid,
+		}
+		if err := r.p.AddBid(ad, bid, at); err == nil {
+			r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
+			r.col.BidCreated(a.Account, match, maxBid/def)
+		}
+		// Advertisers who use exact matching duplicate their head
+		// keywords across match types: the exact bid captures the bare
+		// query precisely while the looser bid catches the long tail.
+		// This is why exact matches dominate received clicks (Table 4)
+		// even though exact bids are a minority of the bid book.
+		if match != platform.MatchExact && a.MatchMix[platform.MatchExact] > 0 &&
+			i < (len(kws)+2)/3 && a.rng.Bool(0.6) {
+			dup := bid
+			dup.Match = platform.MatchExact
+			if err := r.p.AddBid(ad, dup, at); err == nil {
+				r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
+				r.col.BidCreated(a.Account, platform.MatchExact, dup.MaxBid/def)
+			}
+		}
+	}
+	return true
+}
+
+// vertInfoBid returns the agent's vertical bid level.
+func (r *Runtime) vertInfoBid(a *Agent) float64 {
+	// The verticals package is the source of truth; avoid importing it
+	// here for each ad by caching on first use would be premature — the
+	// lookup is a short scan.
+	return vertBidLevel(a.Vertical)
+}

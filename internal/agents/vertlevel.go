@@ -1,0 +1,20 @@
+package agents
+
+import "repro/internal/verticals"
+
+// bidLevels caches vertical bid levels by name.
+var bidLevels = func() map[verticals.Vertical]float64 {
+	m := make(map[verticals.Vertical]float64, len(verticals.All()))
+	for _, v := range verticals.All() {
+		m[v.Name] = v.BidLevel
+	}
+	return m
+}()
+
+// vertBidLevel returns the vertical's relative bid level, defaulting to 1.
+func vertBidLevel(v verticals.Vertical) float64 {
+	if l, ok := bidLevels[v]; ok {
+		return l
+	}
+	return 1
+}

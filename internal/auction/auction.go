@@ -1,0 +1,206 @@
+// Package auction implements the search-ad auction: eligible-ad assembly
+// by match type, rank scoring (bid × quality score, per Bing's published
+// auction description [3]), dynamic mainline/sidebar slot allocation, and
+// generalized second-price (GSP) pricing.
+//
+// "On a search engine results page, ads can be displayed along the top of
+// the page (the 'mainline' ...) or along the right edge of the page
+// ('sidebar') ... the number of ads in the mainline and sidebar is
+// dynamic." (§6.2.1). Ad position is the rank of an ad in the list of ads
+// shown, from top of mainline to bottom of sidebar; position 1 is always
+// the most valuable.
+package auction
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// Config holds auction parameters. All monetary values are in normalized
+// bid units (US default max bid = 1.0).
+type Config struct {
+	// MaxMainline and MaxSidebar bound the dynamic slot counts.
+	MaxMainline int
+	MaxSidebar  int
+	// ReserveScore is the minimum rank score to be shown at all.
+	ReserveScore float64
+	// MainlineScore is the minimum rank score for a mainline slot.
+	MainlineScore float64
+	// ReservePrice is the minimum charge per click.
+	ReservePrice float64
+	// Increment is the epsilon added to the GSP price.
+	Increment float64
+}
+
+// DefaultConfig mirrors a first-page layout of up to 4 mainline and 5
+// sidebar ads.
+func DefaultConfig() Config {
+	return Config{
+		MaxMainline:   4,
+		MaxSidebar:    5,
+		ReserveScore:  0.02,
+		MainlineScore: 0.12,
+		ReservePrice:  0.05,
+		Increment:     0.01,
+	}
+}
+
+// Relevance returns the match-precision discount applied to a bid's
+// quality for a given query form. Broad matches pair ads with queries they
+// target less precisely, which "results in lower relevance to the search
+// queries, which often hurts performance" (§5.2).
+func Relevance(m platform.MatchType, form platform.QueryForm) float64 {
+	base := 1.0
+	switch m {
+	case platform.MatchExact:
+		base = 1.0
+	case platform.MatchPhrase:
+		base = 0.72
+	case platform.MatchBroad:
+		base = 0.38
+	}
+	switch form {
+	case platform.FormBare:
+		return base
+	case platform.FormExtended:
+		return base * 0.95
+	default: // FormReordered
+		return base * 0.85
+	}
+}
+
+// Placement is one ad shown on the results page.
+type Placement struct {
+	Ref      platform.BidRef
+	Position int // 1-based across mainline then sidebar
+	Mainline bool
+	// Score is the rank score (bid × quality × relevance).
+	Score float64
+	// Price is the GSP cost-per-click the advertiser pays if clicked.
+	Price float64
+	// Relevance is the match-precision discount used in scoring; the
+	// click model reuses it so imprecise matches also click worse.
+	Relevance float64
+}
+
+// Result is the outcome of one auction.
+type Result struct {
+	Placements []Placement
+	// Considered is the number of eligible bids that entered the auction.
+	Considered int
+}
+
+// scored is an internal candidate.
+type scored struct {
+	ref   platform.BidRef
+	score float64
+	rel   float64
+	qual  float64
+	bid   float64
+}
+
+// Scratch holds reusable buffers for the serving hot path. One Scratch per
+// serving goroutine; results returned through it are valid until the next
+// RunInto call.
+type Scratch struct {
+	cands      []scored
+	placements []Placement
+}
+
+// Run executes the auction over the eligible bids for one query form,
+// allocating fresh result storage. Convenience wrapper over RunInto for
+// tests and examples.
+func Run(cfg Config, eligible []platform.BidRef, form platform.QueryForm) Result {
+	var s Scratch
+	res := RunInto(cfg, eligible, form, &s)
+	out := make([]Placement, len(res.Placements))
+	copy(out, res.Placements)
+	res.Placements = out
+	return res
+}
+
+// RunInto executes the auction using scratch buffers. At most one ad per
+// account participates (the account's best-scoring bid), matching the
+// one-ad-per-advertiser page rule of search engines. The returned
+// placements alias the scratch and are valid until the next call.
+func RunInto(cfg Config, eligible []platform.BidRef, form platform.QueryForm, scr *Scratch) Result {
+	if len(eligible) == 0 {
+		return Result{}
+	}
+	// Best candidate per account. Eligible lists are short (tens); a
+	// linear dedup over a scratch slice beats a map and allocates nothing.
+	cands := scr.cands[:0]
+	for _, ref := range eligible {
+		rel := Relevance(ref.Bid.Match, form)
+		q := ref.Ad.Quality * rel
+		s := ref.Bid.MaxBid * q
+		if s < cfg.ReserveScore {
+			continue
+		}
+		found := false
+		for j := range cands {
+			if cands[j].ref.Ad.Account == ref.Ad.Account {
+				if s > cands[j].score {
+					cands[j] = scored{ref: ref, score: s, rel: rel, qual: ref.Ad.Quality, bid: ref.Bid.MaxBid}
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			cands = append(cands, scored{ref: ref, score: s, rel: rel, qual: ref.Ad.Quality, bid: ref.Bid.MaxBid})
+		}
+	}
+	scr.cands = cands
+	if len(cands) == 0 {
+		return Result{Considered: len(eligible)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		// Deterministic tie-break by ad ID.
+		return cands[i].ref.Ad.ID < cands[j].ref.Ad.ID
+	})
+
+	maxShown := cfg.MaxMainline + cfg.MaxSidebar
+	if len(cands) > maxShown {
+		cands = cands[:maxShown]
+	}
+
+	res := Result{Considered: len(eligible), Placements: scr.placements[:0]}
+	mainline := 0
+	for i, c := range cands {
+		// GSP price: the minimum bid that would keep this ad above the
+		// next candidate's score, plus an increment; the last shown ad
+		// pays the reserve. Clamp to [ReservePrice, own bid].
+		price := cfg.ReservePrice
+		if i+1 < len(cands) {
+			denom := c.qual * c.rel
+			if denom > 0 {
+				price = cands[i+1].score/denom + cfg.Increment
+			}
+		}
+		if price < cfg.ReservePrice {
+			price = cfg.ReservePrice
+		}
+		if price > c.bid {
+			price = c.bid
+		}
+		inMainline := mainline < cfg.MaxMainline && c.score >= cfg.MainlineScore
+		if inMainline {
+			mainline++
+		}
+		res.Placements = append(res.Placements, Placement{
+			Ref:       c.ref,
+			Position:  i + 1,
+			Mainline:  inMainline,
+			Score:     c.score,
+			Price:     price,
+			Relevance: c.rel,
+		})
+	}
+	scr.placements = res.Placements
+	return res
+}

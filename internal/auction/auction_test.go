@@ -1,0 +1,257 @@
+package auction
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adcopy"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// book builds eligible bids: one ad per entry, quality/bid/match per spec.
+type entry struct {
+	quality float64
+	bid     float64
+	match   platform.MatchType
+}
+
+func book(t *testing.T, entries []entry) []platform.BidRef {
+	t.Helper()
+	p := platform.New()
+	refs := make([]platform.BidRef, 0, len(entries))
+	for _, e := range entries {
+		a := p.Register(platform.RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Games})
+		if err := p.Approve(a.ID); err != nil {
+			t.Fatal(err)
+		}
+		ad, err := p.CreateAd(a.ID, verticals.Games, market.US, adcopy.Creative{}, e.quality, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddBid(ad, platform.KeywordBid{KeywordID: 0, Cluster: 0, Match: e.match, MaxBid: e.bid}, 0); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, platform.BidRef{Ad: ad, Bid: ad.Bids[0]})
+	}
+	return refs
+}
+
+func TestRelevanceOrdering(t *testing.T) {
+	for _, form := range []platform.QueryForm{platform.FormBare, platform.FormExtended, platform.FormReordered} {
+		e := Relevance(platform.MatchExact, form)
+		p := Relevance(platform.MatchPhrase, form)
+		b := Relevance(platform.MatchBroad, form)
+		if !(e > p && p > b) {
+			t.Fatalf("form %v: relevance not ordered exact>phrase>broad: %v %v %v", form, e, p, b)
+		}
+	}
+	if Relevance(platform.MatchExact, platform.FormBare) != 1.0 {
+		t.Fatal("exact/bare must be the relevance unit")
+	}
+}
+
+func TestEmptyAuction(t *testing.T) {
+	res := Run(DefaultConfig(), nil, platform.FormBare)
+	if len(res.Placements) != 0 || res.Considered != 0 {
+		t.Fatal("empty auction produced placements")
+	}
+}
+
+func TestRankingByScore(t *testing.T) {
+	refs := book(t, []entry{
+		{0.5, 1.0, platform.MatchExact}, // score 0.5
+		{0.9, 1.0, platform.MatchExact}, // score 0.9
+		{0.3, 4.0, platform.MatchExact}, // score 1.2 — bid beats quality here
+	})
+	res := Run(DefaultConfig(), refs, platform.FormBare)
+	if len(res.Placements) != 3 {
+		t.Fatalf("%d placements", len(res.Placements))
+	}
+	if res.Placements[0].Ref.Ad != refs[2].Ad || res.Placements[1].Ref.Ad != refs[1].Ad {
+		t.Fatal("ranking not by bid*quality")
+	}
+	for i, pl := range res.Placements {
+		if pl.Position != i+1 {
+			t.Fatalf("position %d at index %d", pl.Position, i)
+		}
+	}
+}
+
+func TestGSPPriceProperties(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(qs [6]uint8, bids [6]uint8) bool {
+		entries := make([]entry, 0, 6)
+		for i := range qs {
+			q := 0.05 + float64(qs[i]%90)/100
+			b := 0.1 + float64(bids[i]%40)/10
+			entries = append(entries, entry{q, b, platform.MatchExact})
+		}
+		refs := book(t, entries)
+		res := Run(cfg, refs, platform.FormBare)
+		for i, pl := range res.Placements {
+			// Never pay more than your own bid, never below reserve.
+			if pl.Price > pl.Ref.Bid.MaxBid+1e-12 || pl.Price < cfg.ReservePrice-1e-12 {
+				return false
+			}
+			// Scores are sorted descending.
+			if i > 0 && pl.Score > res.Placements[i-1].Score+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGSPSecondPriceExact(t *testing.T) {
+	cfg := DefaultConfig()
+	refs := book(t, []entry{
+		{1.0, 2.0, platform.MatchExact}, // score 2.0
+		{1.0, 1.0, platform.MatchExact}, // score 1.0
+	})
+	res := Run(cfg, refs, platform.FormBare)
+	// Winner pays next score / (own quality*rel) + increment = 1.0 + inc.
+	want := 1.0 + cfg.Increment
+	if p := res.Placements[0].Price; p < want-1e-12 || p > want+1e-12 {
+		t.Fatalf("GSP price %v, want %v", p, want)
+	}
+	// Last ad pays reserve.
+	if res.Placements[1].Price != cfg.ReservePrice {
+		t.Fatalf("last price %v, want reserve", res.Placements[1].Price)
+	}
+}
+
+func TestReserveScoreFilters(t *testing.T) {
+	cfg := DefaultConfig()
+	refs := book(t, []entry{{0.01, 0.5, platform.MatchExact}}) // score .005 < reserve
+	res := Run(cfg, refs, platform.FormBare)
+	if len(res.Placements) != 0 {
+		t.Fatal("below-reserve ad shown")
+	}
+	if res.Considered != 1 {
+		t.Fatalf("considered %d", res.Considered)
+	}
+}
+
+func TestMainlineSidebarAllocation(t *testing.T) {
+	cfg := DefaultConfig()
+	var entries []entry
+	for i := 0; i < 12; i++ {
+		entries = append(entries, entry{0.9, 3.0, platform.MatchExact})
+	}
+	refs := book(t, entries)
+	res := Run(cfg, refs, platform.FormBare)
+	if len(res.Placements) != cfg.MaxMainline+cfg.MaxSidebar {
+		t.Fatalf("%d placements, want %d", len(res.Placements), cfg.MaxMainline+cfg.MaxSidebar)
+	}
+	mainline := 0
+	for i, pl := range res.Placements {
+		if pl.Mainline {
+			mainline++
+			if i >= cfg.MaxMainline {
+				t.Fatal("mainline ad after sidebar start")
+			}
+		}
+	}
+	if mainline != cfg.MaxMainline {
+		t.Fatalf("mainline count %d", mainline)
+	}
+}
+
+func TestLowScoreSidebarOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	refs := book(t, []entry{{0.1, 0.5, platform.MatchExact}}) // score .05: above reserve, below mainline
+	res := Run(cfg, refs, platform.FormBare)
+	if len(res.Placements) != 1 || res.Placements[0].Mainline {
+		t.Fatal("weak ad should land in the sidebar")
+	}
+}
+
+func TestOneAdPerAccount(t *testing.T) {
+	p := platform.New()
+	a := p.Register(platform.RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Games})
+	if err := p.Approve(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	var refs []platform.BidRef
+	for i := 0; i < 3; i++ {
+		ad, err := p.CreateAd(a.ID, verticals.Games, market.US, adcopy.Creative{}, 0.5+0.1*float64(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddBid(ad, platform.KeywordBid{KeywordID: 0, Cluster: 0, Match: platform.MatchExact, MaxBid: 2}, 0); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, platform.BidRef{Ad: ad, Bid: ad.Bids[0]})
+	}
+	res := Run(DefaultConfig(), refs, platform.FormBare)
+	if len(res.Placements) != 1 {
+		t.Fatalf("account shown %d times on one page", len(res.Placements))
+	}
+	// And it must be the best of the account's candidates.
+	if res.Placements[0].Ref.Ad.Quality != 0.7 {
+		t.Fatalf("wrong candidate chosen: quality %v", res.Placements[0].Ref.Ad.Quality)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	refs := book(t, []entry{
+		{0.5, 1.0, platform.MatchExact},
+		{0.5, 1.0, platform.MatchExact},
+	})
+	a := Run(DefaultConfig(), refs, platform.FormBare)
+	b := Run(DefaultConfig(), refs, platform.FormBare)
+	for i := range a.Placements {
+		if a.Placements[i].Ref.Ad.ID != b.Placements[i].Ref.Ad.ID {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+	if a.Placements[0].Ref.Ad.ID > a.Placements[1].Ref.Ad.ID {
+		t.Fatal("tie must break toward lower ad ID")
+	}
+}
+
+func TestRunIntoScratchReuse(t *testing.T) {
+	refs := book(t, []entry{{0.9, 2, platform.MatchExact}, {0.8, 2, platform.MatchExact}})
+	var scr Scratch
+	r1 := RunInto(DefaultConfig(), refs, platform.FormBare, &scr)
+	n1 := len(r1.Placements)
+	r2 := RunInto(DefaultConfig(), refs, platform.FormBare, &scr)
+	if len(r2.Placements) != n1 {
+		t.Fatal("scratch reuse changed results")
+	}
+}
+
+func TestBroadDiscountAffectsOutcome(t *testing.T) {
+	// Equal bid and quality: the exact bid must outrank the broad one.
+	refs := book(t, []entry{
+		{0.6, 1.0, platform.MatchBroad},
+		{0.6, 1.0, platform.MatchExact},
+	})
+	res := Run(DefaultConfig(), refs, platform.FormBare)
+	if res.Placements[0].Ref.Bid.Match != platform.MatchExact {
+		t.Fatal("broad outranked exact at equal bid/quality")
+	}
+}
+
+var sinkResult Result
+
+func BenchmarkAuction10Candidates(b *testing.B) {
+	t := &testing.T{}
+	var entries []entry
+	rng := stats.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		entries = append(entries, entry{0.1 + 0.8*rng.Float64(), 0.2 + 3*rng.Float64(), platform.MatchType(i % 3)})
+	}
+	refs := book(t, entries)
+	var scr Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkResult = RunInto(DefaultConfig(), refs, platform.FormBare, &scr)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// WeekActivity is one week's fraud activity split by detection latency
+// (Figure 3): activity from accounts detected within the attribution
+// window of the activity date is "in-window"; activity from accounts
+// detected later is "out-of-window".
+type WeekActivity struct {
+	Week      int
+	InSpend   float64
+	OutSpend  float64
+	InClicks  int64
+	OutClicks int64
+}
+
+// WeeklyAttribution computes the Figure 3 series: weekly aggregate
+// activity of all accounts eventually labeled fraudulent, attributed
+// in-window when the account's detection occurred within windowDays (the
+// paper uses 90) of the activity, and out-of-window otherwise.
+func (s *Study) WeeklyAttribution(windowDays int) []WeekActivity {
+	weeks := map[int]*WeekActivity{}
+	for _, a := range s.P.Accounts() {
+		det, ok := s.DetectedAt(a.ID)
+		if !ok {
+			continue
+		}
+		agg := s.C.Agg(a.ID)
+		if agg == nil {
+			continue
+		}
+		for _, w := range agg.Weeks {
+			if w.Week < 0 {
+				continue
+			}
+			wa := weeks[int(w.Week)]
+			if wa == nil {
+				wa = &WeekActivity{Week: int(w.Week)}
+				weeks[int(w.Week)] = wa
+			}
+			// Activity time: the end of the activity week.
+			actEnd := simclock.StampAt(simclock.Day((int(w.Week)+1)*simclock.DaysPerWeek), 0)
+			if det.DaysSince(actEnd) <= float64(windowDays) {
+				wa.InSpend += w.Spend
+				wa.InClicks += w.Clicks
+			} else {
+				wa.OutSpend += w.Spend
+				wa.OutClicks += w.Clicks
+			}
+		}
+	}
+	maxWeek := -1
+	for wk := range weeks {
+		if wk > maxWeek {
+			maxWeek = wk
+		}
+	}
+	out := make([]WeekActivity, maxWeek+1)
+	for i := range out {
+		out[i].Week = i
+		if wa := weeks[i]; wa != nil {
+			out[i] = *wa
+		}
+	}
+	return out
+}
+
+// Concentration computes the cumulative share of fraud spend and clicks
+// contributed by fraud advertisers in decreasing order (Figure 4),
+// evaluated at the given advertiser-proportion points.
+func (s *Study) Concentration(w simclock.Window, wi int, props []float64) (spend, clicks []stats.Point) {
+	ids := s.AliveDuring(w, true)
+	sv := make([]float64, 0, len(ids))
+	cv := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		sv = append(sv, s.WindowSpend(id, wi))
+		cv = append(cv, float64(s.WindowClicks(id, wi)))
+	}
+	return stats.CumulativeShare(sv, props), stats.CumulativeShare(cv, props)
+}
+
+// TopShare returns the share of total fraud spend and clicks contributed
+// by the top frac of fraud advertisers — the headline "top 10% of
+// advertisers collectively account for more than 95% of all fraudulent
+// clicks" statistic (§4.2).
+func (s *Study) TopShare(w simclock.Window, wi int, frac float64) (spendShare, clickShare float64) {
+	ids := s.AliveDuring(w, true)
+	sv := make([]float64, 0, len(ids))
+	cv := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		sv = append(sv, s.WindowSpend(id, wi))
+		cv = append(cv, float64(s.WindowClicks(id, wi)))
+	}
+	return stats.TopShare(sv, frac), stats.TopShare(cv, frac)
+}

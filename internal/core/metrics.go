@@ -1,0 +1,271 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+// MonthShare is one month's registration count and the fraction of those
+// registrations eventually labeled fraudulent (Figure 1).
+type MonthShare struct {
+	Month         int // absolute month index
+	Label         string
+	Registrations int
+	Fraudulent    int
+}
+
+// Share returns the fraudulent fraction, or 0 for an empty month.
+func (m MonthShare) Share() float64 {
+	if m.Registrations == 0 {
+		return 0
+	}
+	return float64(m.Fraudulent) / float64(m.Registrations)
+}
+
+// RegistrationFraudShare computes, per calendar month, the share of new
+// account registrations subsequently marked fraudulent (Figure 1). Months
+// before the epoch (the seeded pre-existing population) are skipped.
+func (s *Study) RegistrationFraudShare() []MonthShare {
+	byMonth := map[int]*MonthShare{}
+	for _, a := range s.P.Accounts() {
+		if a.Created < 0 {
+			continue
+		}
+		m := a.Created.Day().MonthIndex()
+		ms := byMonth[m]
+		if ms == nil {
+			ms = &MonthShare{Month: m, Label: simclock.MonthStart(m).Label()}
+			byMonth[m] = ms
+		}
+		ms.Registrations++
+		if s.IsFraudulent(a.ID) {
+			ms.Fraudulent++
+		}
+	}
+	out := make([]MonthShare, 0, len(byMonth))
+	for _, ms := range byMonth {
+		out = append(out, *ms)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Month < out[j].Month })
+	return out
+}
+
+// Lifetimes extracts fraudulent-account lifetimes (fractional days) for
+// accounts detected within the given window, measured from account
+// registration or, when fromFirstAd is set, from first ad creation
+// (accounts that never posted an ad are skipped in that mode). This is
+// the data behind Figure 2.
+func (s *Study) Lifetimes(detectedIn simclock.Window, fromFirstAd bool) []float64 {
+	var out []float64
+	for _, a := range s.P.Accounts() {
+		at, ok := s.DetectedAt(a.ID)
+		if !ok || !detectedIn.Contains(at.Day()) {
+			continue
+		}
+		var lt float64
+		if fromFirstAd {
+			if a.FirstAdAt == platform.NoStamp {
+				continue
+			}
+			lt = at.DaysSince(a.FirstAdAt)
+		} else {
+			lt = at.DaysSince(a.Created)
+		}
+		if lt < 0 {
+			lt = 0
+		}
+		out = append(out, lt)
+	}
+	return out
+}
+
+// PreAdShutdownShare returns the fraction of detected accounts that were
+// shut down before posting any ad ("35% of all account shutdowns ...
+// occur before the advertiser account is able to display even one ad",
+// §4.1).
+func (s *Study) PreAdShutdownShare() float64 {
+	total, preAd := 0, 0
+	for _, a := range s.P.Accounts() {
+		at, ok := s.DetectedAt(a.ID)
+		if !ok {
+			continue
+		}
+		total++
+		if a.FirstAdAt == platform.NoStamp || a.FirstAdAt > at {
+			preAd++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(preAd) / float64(total)
+}
+
+// CountryRow is one country's share within a subset (Table 1).
+type CountryRow struct {
+	Country market.Country
+	Share   float64
+}
+
+// CountryDistribution computes the registration-country shares of a
+// subset, descending.
+func (s *Study) CountryDistribution(sub Subset) []CountryRow {
+	counts := map[market.Country]int{}
+	for _, id := range sub.IDs {
+		counts[s.P.MustAccount(id).Country]++
+	}
+	out := make([]CountryRow, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CountryRow{Country: c, Share: float64(n) / float64(len(sub.IDs))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// ClickGeoRow is one country's row in Table 3: its share of all fraud
+// clicks, and the fraud share of that country's own clicks.
+type ClickGeoRow struct {
+	Country        market.Country
+	ShareOfFraud   float64
+	ShareOfCountry float64
+}
+
+// ClickGeography computes Table 3 from the collector's sample-window
+// counters, descending by share of fraud.
+func (s *Study) ClickGeography() []ClickGeoRow {
+	byCountry := s.C.ClicksByCountry()
+	var totalFraud int64
+	for _, fs := range byCountry {
+		totalFraud += fs.Fraud
+	}
+	out := make([]ClickGeoRow, 0, len(byCountry))
+	for c, fs := range byCountry {
+		row := ClickGeoRow{Country: c}
+		if totalFraud > 0 {
+			row.ShareOfFraud = float64(fs.Fraud) / float64(totalFraud)
+		}
+		if t := fs.Total(); t > 0 {
+			row.ShareOfCountry = float64(fs.Fraud) / float64(t)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ShareOfFraud != out[j].ShareOfFraud {
+			return out[i].ShareOfFraud > out[j].ShareOfFraud
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// MatchTypeRow is one match type's row in Table 4.
+type MatchTypeRow struct {
+	Match platform.MatchType
+	// ShareOfFraud is the match type's share of fraud clicks; ShareOfType
+	// is the fraud share within the match type; NonfraudShare is the
+	// type's share of non-fraud clicks.
+	ShareOfFraud  float64
+	ShareOfType   float64
+	NonfraudShare float64
+}
+
+// MatchTypeClicks computes Table 4 from the collector's sample-window
+// counters.
+func (s *Study) MatchTypeClicks() []MatchTypeRow {
+	byMatch := s.C.ClicksByMatch()
+	var totF, totNF int64
+	for _, fs := range byMatch {
+		totF += fs.Fraud
+		totNF += fs.Nonfraud
+	}
+	out := make([]MatchTypeRow, 0, 3)
+	for _, m := range platform.MatchTypes {
+		fs := byMatch[m]
+		row := MatchTypeRow{Match: m}
+		if totF > 0 {
+			row.ShareOfFraud = float64(fs.Fraud) / float64(totF)
+		}
+		if t := fs.Total(); t > 0 {
+			row.ShareOfType = float64(fs.Fraud) / float64(t)
+		}
+		if totNF > 0 {
+			row.NonfraudShare = float64(fs.Nonfraud) / float64(totNF)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MatchMix returns the account's proportion of keyword bids per match
+// type (Figure 9 a–c), or zeros for accounts with no bids.
+func (s *Study) MatchMix(id platform.AccountID) [3]float64 {
+	agg := s.C.Agg(id)
+	var out [3]float64
+	if agg == nil {
+		return out
+	}
+	var total int64
+	for _, n := range agg.BidCount {
+		total += n
+	}
+	if total == 0 {
+		return out
+	}
+	for i, n := range agg.BidCount {
+		out[i] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// AvgBid returns the account's average normalized bid for one match type
+// and whether the account has any bids of that type (Figure 9 d–f).
+func (s *Study) AvgBid(id platform.AccountID, m platform.MatchType) (float64, bool) {
+	agg := s.C.Agg(id)
+	if agg == nil || agg.BidCount[m] == 0 {
+		return 0, false
+	}
+	return agg.BidSum[m] / float64(agg.BidCount[m]), true
+}
+
+// VerticalMonthSpend sums fraud-labeled accounts' spend per (month,
+// vertical), counting only accounts whose spend in that month exceeds
+// minMonthlySpend (Figure 8 restricts to "advertisers with more than
+// $2000 spend in a month", scaled here to the simulation's economy).
+func (s *Study) VerticalMonthSpend(minMonthlySpend float64) map[int]map[int]float64 {
+	// First pass: per account per month totals to apply the threshold.
+	out := map[int]map[int]float64{}
+	for _, a := range s.P.Accounts() {
+		if !s.IsFraudulent(a.ID) {
+			continue
+		}
+		agg := s.C.Agg(a.ID)
+		if agg == nil || agg.MonthVerticalSpend == nil {
+			continue
+		}
+		monthTotal := map[int]float64{}
+		for key, sp := range agg.MonthVerticalSpend {
+			m, _ := dataset.UnpackMonthVertical(key)
+			monthTotal[m] += sp
+		}
+		for key, sp := range agg.MonthVerticalSpend {
+			m, v := dataset.UnpackMonthVertical(key)
+			if monthTotal[m] < minMonthlySpend {
+				continue
+			}
+			if out[m] == nil {
+				out[m] = map[int]float64{}
+			}
+			out[m][v] += sp
+		}
+	}
+	return out
+}

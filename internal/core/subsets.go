@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Subset is a named set of advertiser accounts selected for analysis.
+type Subset struct {
+	Name string
+	IDs  []platform.AccountID
+}
+
+// Len returns the subset size.
+func (s Subset) Len() int { return len(s.IDs) }
+
+// Values extracts a per-account metric over the subset.
+func (s Subset) Values(metric func(platform.AccountID) float64) []float64 {
+	out := make([]float64, 0, len(s.IDs))
+	for _, id := range s.IDs {
+		out = append(out, metric(id))
+	}
+	return out
+}
+
+// ECDF builds the empirical CDF of a per-account metric over the subset.
+func (s Subset) ECDF(metric func(platform.AccountID) float64) *stats.ECDF {
+	return stats.NewECDF(s.Values(metric))
+}
+
+// Subsets is the full §3.3 battery for one measurement window: four
+// fraudulent subsets, four mirrored non-fraudulent subsets, and the three
+// matched non-fraudulent comparison subsets.
+type Subsets struct {
+	Window simclock.NamedWindow
+	WI     int // window index in the collector
+
+	Fraud         Subset // uniform over fraud alive in window
+	FWithClicks   Subset // uniform over fraud with >= 1 click in window
+	FSpendWeight  Subset // inclusion ∝ spend in window
+	FVolumeWeight Subset // inclusion ∝ clicks in window
+
+	Nonfraud       Subset
+	NFWithClicks   Subset
+	NFSpendWeight  Subset
+	NFVolumeWeight Subset
+
+	NFSpendMatch  Subset // matched to FSpendWeight by spend
+	NFVolumeMatch Subset // matched to FVolumeWeight by click volume
+	NFRateMatch   Subset // matched to FVolumeWeight by click rate
+}
+
+// FraudSubsets lists the fraudulent subsets in presentation order.
+func (s *Subsets) FraudSubsets() []Subset {
+	return []Subset{s.Fraud, s.FWithClicks, s.FSpendWeight, s.FVolumeWeight}
+}
+
+// ComparisonPairs returns the subset sequence used by Figures 7 and 9:
+// with-clicks, spend-weighted/matched, and volume-weighted/matched pairs.
+func (s *Subsets) ComparisonPairs() []Subset {
+	return []Subset{
+		s.FWithClicks, s.NFWithClicks,
+		s.FSpendWeight, s.NFSpendMatch,
+		s.FVolumeWeight, s.NFVolumeMatch,
+		s.NFRateMatch,
+	}
+}
+
+// uniformSubset draws k accounts uniformly.
+func uniformSubset(rng *stats.RNG, name string, pool []platform.AccountID, k int) Subset {
+	idx := stats.SampleUniform(rng, len(pool), k)
+	ids := make([]platform.AccountID, len(idx))
+	for i, j := range idx {
+		ids[i] = pool[j]
+	}
+	return Subset{Name: name, IDs: ids}
+}
+
+// weightedSubset draws k accounts with inclusion probability proportional
+// to the metric.
+func weightedSubset(rng *stats.RNG, name string, pool []platform.AccountID, weight func(platform.AccountID) float64, k int) Subset {
+	ws := make([]float64, len(pool))
+	for i, id := range pool {
+		ws[i] = weight(id)
+	}
+	idx := stats.SampleWeighted(rng, ws, k)
+	ids := make([]platform.AccountID, len(idx))
+	for i, j := range idx {
+		ids[i] = pool[j]
+	}
+	return Subset{Name: name, IDs: ids}
+}
+
+// matchedSubset selects, for each target account, the candidate account
+// whose metric is nearest (without replacement) — §3.3.2's matched
+// comparison subsets.
+func matchedSubset(name string, targets Subset, candidates []platform.AccountID,
+	targetMetric, candMetric func(platform.AccountID) float64) Subset {
+
+	tv := make([]float64, len(targets.IDs))
+	for i, id := range targets.IDs {
+		tv[i] = targetMetric(id)
+	}
+	cv := make([]float64, len(candidates))
+	for i, id := range candidates {
+		cv[i] = candMetric(id)
+	}
+	match := stats.MatchNearest(tv, cv)
+	ids := make([]platform.AccountID, 0, len(match))
+	for _, ci := range match {
+		if ci >= 0 {
+			ids = append(ids, candidates[ci])
+		}
+	}
+	return Subset{Name: name, IDs: ids}
+}
+
+// BuildSubsets constructs the full §3.3 battery over the named window at
+// index wi, each subset of up to `size` accounts ("approximately 10,000
+// advertisers" in the paper, scaled to the simulated population). The
+// draw is deterministic given rng.
+func (s *Study) BuildSubsets(win simclock.NamedWindow, wi int, size int, rng *stats.RNG) *Subsets {
+	fraudPool := s.AliveDuring(win.Window, true)
+	nfPool := s.AliveDuring(win.Window, false)
+
+	clicksOf := func(id platform.AccountID) float64 { return float64(s.WindowClicks(id, wi)) }
+	spendOf := func(id platform.AccountID) float64 { return s.WindowSpend(id, wi) }
+	rateOf := func(id platform.AccountID) float64 { return s.ClickRate(id, win.Window, wi) }
+
+	withClicks := func(pool []platform.AccountID) []platform.AccountID {
+		var out []platform.AccountID
+		for _, id := range pool {
+			if s.WindowClicks(id, wi) > 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	fClicked := withClicks(fraudPool)
+	nfClicked := withClicks(nfPool)
+
+	out := &Subsets{Window: win, WI: wi}
+	out.Fraud = uniformSubset(rng, "Fraud", fraudPool, size)
+	out.FWithClicks = uniformSubset(rng, "F with clicks", fClicked, size)
+	out.FSpendWeight = weightedSubset(rng, "F spend weight", fraudPool, spendOf, size)
+	out.FVolumeWeight = weightedSubset(rng, "F volume weight", fraudPool, clicksOf, size)
+
+	out.Nonfraud = uniformSubset(rng, "Nonfraud", nfPool, size)
+	out.NFWithClicks = uniformSubset(rng, "NF with clicks", nfClicked, size)
+	out.NFSpendWeight = weightedSubset(rng, "NF spend weight", nfPool, spendOf, size)
+	out.NFVolumeWeight = weightedSubset(rng, "NF volume weight", nfPool, clicksOf, size)
+
+	out.NFSpendMatch = matchedSubset("NF spend match", out.FSpendWeight, nfPool, spendOf, spendOf)
+	out.NFVolumeMatch = matchedSubset("NF volume match", out.FVolumeWeight, nfPool, clicksOf, clicksOf)
+	out.NFRateMatch = matchedSubset("NF rate match", out.FVolumeWeight, nfPool, rateOf, rateOf)
+	return out
+}

@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+// The export format mirrors §3.1's three data sources as JSON-lines
+// streams: one customer record per account, one activity record per
+// (account, week), and one fraud-detection record per enforcement action.
+// The files are self-describing and diff-friendly, so downstream analyses
+// (or other languages) can consume a simulated study without linking Go.
+
+// CustomerRecord is the exported customer/ad record for one account.
+type CustomerRecord struct {
+	Account     int32   `json:"account"`
+	Created     float64 `json:"created"`
+	Country     string  `json:"country"`
+	Language    string  `json:"language"`
+	Currency    string  `json:"currency"`
+	Vertical    string  `json:"vertical"`
+	Status      string  `json:"status"`
+	ShutdownAt  float64 `json:"shutdownAt,omitempty"`
+	FirstAdAt   float64 `json:"firstAdAt,omitempty"`
+	AdsCreated  int     `json:"adsCreated"`
+	KwCreated   int     `json:"kwCreated"`
+	Impressions int64   `json:"impressions"`
+	Clicks      int64   `json:"clicks"`
+	Spend       float64 `json:"spend"`
+}
+
+// ActivityRecord is one week of one account's serving activity.
+type ActivityRecord struct {
+	Account     int32   `json:"account"`
+	Week        int32   `json:"week"`
+	Impressions int64   `json:"impressions"`
+	Clicks      int64   `json:"clicks"`
+	Spend       float64 `json:"spend"`
+}
+
+// EnforcementRecord is one exported fraud-detection record.
+type EnforcementRecord struct {
+	Account int32   `json:"account"`
+	At      float64 `json:"at"`
+	Stage   string  `json:"stage"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// ExportCustomers writes one CustomerRecord per account as JSON lines.
+func ExportCustomers(w io.Writer, accounts []*platform.Account) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, a := range accounts {
+		rec := CustomerRecord{
+			Account:     int32(a.ID),
+			Created:     float64(a.Created),
+			Country:     string(a.Country),
+			Language:    a.Language,
+			Currency:    a.Currency,
+			Vertical:    string(a.PrimaryVertical),
+			Status:      a.Status.String(),
+			AdsCreated:  a.AdsCreated,
+			KwCreated:   a.KeywordsCreated,
+			Impressions: a.Impressions,
+			Clicks:      a.Clicks,
+			Spend:       a.Spend,
+		}
+		if a.ShutdownAt != platform.NoStamp {
+			rec.ShutdownAt = float64(a.ShutdownAt)
+		}
+		if a.FirstAdAt != platform.NoStamp {
+			rec.FirstAdAt = float64(a.FirstAdAt)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("dataset: export customers: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportActivity writes every account's weekly activity series.
+func (c *Collector) ExportActivity(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for id, agg := range c.accounts {
+		if agg == nil {
+			continue
+		}
+		for _, wk := range agg.Weeks {
+			rec := ActivityRecord{
+				Account:     int32(id),
+				Week:        wk.Week,
+				Impressions: wk.Impressions,
+				Clicks:      wk.Clicks,
+				Spend:       wk.Spend,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("dataset: export activity: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportDetections writes the fraud-detection record stream.
+func (c *Collector) ExportDetections(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range c.detections {
+		rec := EnforcementRecord{
+			Account: int32(d.Account),
+			At:      float64(d.At),
+			Stage:   d.Stage.String(),
+			Reason:  d.Reason,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("dataset: export detections: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDetections parses an enforcement-record stream back into detection
+// records (stage names resolve to their enum values; unknown stages fail).
+func ReadDetections(r io.Reader) ([]DetectionRecord, error) {
+	var out []DetectionRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec EnforcementRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: read detections: %w", err)
+		}
+		stage, err := stageFromString(rec.Stage)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DetectionRecord{
+			Account: platform.AccountID(rec.Account),
+			At:      simclock.Stamp(rec.At),
+			Stage:   stage,
+			Reason:  rec.Reason,
+		})
+	}
+}
+
+// ReadActivity parses an activity stream.
+func ReadActivity(r io.Reader) ([]ActivityRecord, error) {
+	var out []ActivityRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec ActivityRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: read activity: %w", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadCustomers parses a customer stream.
+func ReadCustomers(r io.Reader) ([]CustomerRecord, error) {
+	var out []CustomerRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec CustomerRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: read customers: %w", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// stageFromString inverts DetectionStage.String.
+func stageFromString(s string) (DetectionStage, error) {
+	for st := StageScreening; st <= StageManualReview; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown detection stage %q", s)
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/verticals"
+)
+
+func TestExportCustomersRoundTrip(t *testing.T) {
+	p := platform.New()
+	a := p.Register(platform.RegistrationRequest{
+		At: simclock.StampAt(3, 0.5), Country: market.BR, Fraud: true,
+		PrimaryVertical: verticals.Luxury,
+	})
+	if err := p.Approve(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Shutdown(a.ID, simclock.StampAt(5, 0.25), "blacklist"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportCustomers(&buf, p.Accounts()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCustomers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.Country != "BR" || r.Vertical != "luxury" || r.Status != "shutdown" {
+		t.Fatalf("record %+v", r)
+	}
+	if r.Created != 3.5 || r.ShutdownAt != 5.25 {
+		t.Fatalf("stamps %v %v", r.Created, r.ShutdownAt)
+	}
+	if r.FirstAdAt != 0 {
+		t.Fatal("no-ad account exported a first-ad stamp")
+	}
+}
+
+func TestExportActivityRoundTrip(t *testing.T) {
+	c := testCollector()
+	c.Impression(12, 1, false, 0, market.US, 1, platform.MatchExact, false, true, 2.0)
+	c.Impression(19, 1, false, 0, market.US, 1, platform.MatchExact, false, false, 0)
+	var buf bytes.Buffer
+	if err := c.ExportActivity(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadActivity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	var spend float64
+	var impr int64
+	for _, r := range recs {
+		if r.Account != 1 {
+			t.Fatalf("account %d", r.Account)
+		}
+		spend += r.Spend
+		impr += r.Impressions
+	}
+	if spend != 2.0 || impr != 2 {
+		t.Fatalf("totals spend=%v impr=%d", spend, impr)
+	}
+}
+
+func TestExportDetectionsRoundTrip(t *testing.T) {
+	c := testCollector()
+	c.Detection(DetectionRecord{Account: 4, At: simclock.StampAt(9, 0.5), Stage: StagePolicy, Reason: "techsupport ban"})
+	c.Detection(DetectionRecord{Account: 5, At: simclock.StampAt(10, 0.25), Stage: StagePayment})
+	var buf bytes.Buffer
+	if err := c.ExportDetections(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDetections(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Stage != StagePolicy || recs[0].Reason != "techsupport ban" {
+		t.Fatalf("record %+v", recs[0])
+	}
+	if recs[1].Stage != StagePayment || recs[1].At != simclock.StampAt(10, 0.25) {
+		t.Fatalf("record %+v", recs[1])
+	}
+}
+
+func TestReadDetectionsRejectsUnknownStage(t *testing.T) {
+	in := strings.NewReader(`{"account":1,"at":2,"stage":"quantum"}` + "\n")
+	if _, err := ReadDetections(in); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestReadMalformedStream(t *testing.T) {
+	if _, err := ReadActivity(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed activity accepted")
+	}
+	if _, err := ReadCustomers(strings.NewReader("[1,2]")); err == nil {
+		t.Fatal("wrong-shape customers accepted")
+	}
+}

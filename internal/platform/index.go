@@ -1,0 +1,201 @@
+package platform
+
+import (
+	"repro/internal/market"
+	"repro/internal/verticals"
+)
+
+// BidRef is one eligible (ad, bid) pair returned by an index lookup.
+type BidRef struct {
+	Ad  *Ad
+	Bid *KeywordBid
+}
+
+// indexKey addresses a posting list: a vertical, a target market, and
+// either a concrete keyword (exact/phrase lists) or a similarity cluster
+// (broad lists).
+type indexKey struct {
+	vertical verticals.Vertical
+	country  market.Country
+	kw       int32 // keyword ID, or cluster ID for broad lists
+	broad    bool
+}
+
+// Index is the serving-side bid index: for each (vertical, market,
+// keyword) it can enumerate the bids whose match type makes them eligible
+// for a query on that keyword. Exact and phrase bids are indexed under
+// their concrete keyword; broad bids under their similarity cluster, since
+// a broad bid matches any query whose keyword is in the same cluster.
+//
+// Posting lists are kept sorted by descending static rank score
+// (MaxBid × Quality at insertion time), which lets the serving path prune
+// to the top candidates of each list instead of scoring every bid on
+// popular keywords — the same index-time pruning production ad servers
+// rely on. Bid modifications after insertion do not re-sort (agent bid
+// tweaks are ±20%, well inside the pruning margin).
+type Index struct {
+	lists map[indexKey][]BidRef
+}
+
+// MaxPerList bounds how many live candidates a single posting list
+// contributes to one auction. Head keywords in large verticals accumulate
+// thousands of bids; only the top handful can ever win a slot.
+const MaxPerList = 48
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{lists: make(map[indexKey][]BidRef)}
+}
+
+func keyFor(ad *Ad, bid *KeywordBid) indexKey {
+	if bid.Match == MatchBroad {
+		return indexKey{ad.Vertical, ad.Target, int32(bid.Cluster), true}
+	}
+	return indexKey{ad.Vertical, ad.Target, int32(bid.KeywordID), false}
+}
+
+// staticScore is the sort key for posting lists.
+func staticScore(ref BidRef) float64 { return ref.Bid.MaxBid * ref.Ad.Quality }
+
+// AddBid registers a bid in its posting list, preserving descending
+// static-score order via binary insertion.
+func (x *Index) AddBid(ad *Ad, bid *KeywordBid) {
+	k := keyFor(ad, bid)
+	list := x.lists[k]
+	ref := BidRef{Ad: ad, Bid: bid}
+	s := staticScore(ref)
+	// Binary search for the insertion point (first element with a lower
+	// score).
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if staticScore(list[mid]) >= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	list = append(list, BidRef{})
+	copy(list[lo+1:], list[lo:])
+	list[lo] = ref
+	x.lists[k] = list
+}
+
+// RemoveAd drops all of an ad's bids from the index.
+func (x *Index) RemoveAd(ad *Ad) {
+	for _, bid := range ad.Bids {
+		k := keyFor(ad, bid)
+		list := x.lists[k]
+		out := list[:0]
+		for _, ref := range list {
+			if ref.Ad != ad {
+				out = append(out, ref)
+			}
+		}
+		if len(out) == 0 {
+			delete(x.lists, k)
+		} else {
+			x.lists[k] = out
+		}
+	}
+}
+
+// QueryForm describes how a search query relates to its underlying
+// keyword: the bare keyword, the keyword embedded in extra words (in
+// order), or the keyword's tokens reordered/mixed with other words.
+type QueryForm uint8
+
+// Query forms, from most to least precise.
+const (
+	// FormBare: the query is exactly the keyword phrase.
+	FormBare QueryForm = iota
+	// FormExtended: the keyword phrase occurs in order with surrounding
+	// words.
+	FormExtended
+	// FormReordered: the keyword's tokens occur out of order or
+	// interleaved.
+	FormReordered
+)
+
+// String returns the form's name.
+func (f QueryForm) String() string {
+	switch f {
+	case FormBare:
+		return "bare"
+	case FormExtended:
+		return "extended"
+	default:
+		return "reordered"
+	}
+}
+
+// Matches implements the match-type semantics of §5.3 for a query on
+// (keywordID, form) against a bid. Exact requires the bare form of the
+// same keyword; phrase additionally accepts the extended form; broad
+// accepts any form of any keyword in the same cluster.
+func Matches(m MatchType, bidKw, queryKw int, sameCluster bool, form QueryForm) bool {
+	switch m {
+	case MatchExact:
+		return bidKw == queryKw && form == FormBare
+	case MatchPhrase:
+		return bidKw == queryKw && (form == FormBare || form == FormExtended)
+	case MatchBroad:
+		return sameCluster
+	default:
+		return false
+	}
+}
+
+// Eligible enumerates the bids eligible for a query in the given vertical
+// and market on keyword kw (cluster cl) with the given form. Bids from
+// inactive ads or non-active accounts are filtered via the liveness check.
+// The result shares no storage with the index.
+func (x *Index) Eligible(v verticals.Vertical, c market.Country, kw, cl int, form QueryForm, alive func(AccountID) bool) []BidRef {
+	return x.EligibleAppend(nil, v, c, kw, cl, form, alive)
+}
+
+// EligibleAppend is the allocation-free variant of Eligible: results are
+// appended to dst (which may be a reused scratch buffer) and the extended
+// slice is returned. The serving loop calls this millions of times per
+// simulated run.
+func (x *Index) EligibleAppend(dst []BidRef, v verticals.Vertical, c market.Country, kw, cl int, form QueryForm, alive func(AccountID) bool) []BidRef {
+	// Exact + phrase lists are keyed by the concrete keyword; filter by
+	// form inline. Lists are score-sorted, so stop after MaxPerList live
+	// candidates — everything further down cannot outrank them.
+	taken := 0
+	for _, ref := range x.lists[indexKey{v, c, int32(kw), false}] {
+		if taken >= MaxPerList {
+			break
+		}
+		if !ref.Ad.Active || !alive(ref.Ad.Account) {
+			continue
+		}
+		if !Matches(ref.Bid.Match, ref.Bid.KeywordID, kw, true, form) {
+			continue
+		}
+		dst = append(dst, ref)
+		taken++
+	}
+	// Broad lists are keyed by cluster; every entry matches by definition.
+	taken = 0
+	for _, ref := range x.lists[indexKey{v, c, int32(cl), true}] {
+		if taken >= MaxPerList {
+			break
+		}
+		if !ref.Ad.Active || !alive(ref.Ad.Account) {
+			continue
+		}
+		dst = append(dst, ref)
+		taken++
+	}
+	return dst
+}
+
+// Len returns the total number of indexed bids (for tests and stats).
+func (x *Index) Len() int {
+	n := 0
+	for _, l := range x.lists {
+		n += len(l)
+	}
+	return n
+}

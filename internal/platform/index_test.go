@@ -1,0 +1,170 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adcopy"
+	"repro/internal/market"
+	"repro/internal/simclock"
+	"repro/internal/verticals"
+)
+
+// indexFixture builds a platform with one account and one ad carrying an
+// exact, a phrase and a broad bid on keyword 3 (cluster 1).
+func indexFixture(t *testing.T) (*Platform, *Account) {
+	t.Helper()
+	p := New()
+	a := p.Register(RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Games})
+	if err := p.Approve(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	ad, err := p.CreateAd(a.ID, verticals.Games, market.US, adcopy.Creative{}, 0.5, simclock.StampAt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range MatchTypes {
+		if err := p.AddBid(ad, KeywordBid{KeywordID: 3, Cluster: 1, Match: m, MaxBid: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, a
+}
+
+func alwaysAlive(AccountID) bool { return true }
+
+func TestMatchesSemantics(t *testing.T) {
+	// Exact: same keyword, bare form only.
+	if !Matches(MatchExact, 3, 3, true, FormBare) {
+		t.Fatal("exact/bare")
+	}
+	if Matches(MatchExact, 3, 3, true, FormExtended) {
+		t.Fatal("exact must reject extended form")
+	}
+	if Matches(MatchExact, 3, 4, true, FormBare) {
+		t.Fatal("exact must reject other keywords")
+	}
+	// Phrase: same keyword, bare or extended.
+	if !Matches(MatchPhrase, 3, 3, true, FormExtended) {
+		t.Fatal("phrase/extended")
+	}
+	if Matches(MatchPhrase, 3, 3, true, FormReordered) {
+		t.Fatal("phrase must reject reordered form")
+	}
+	// Broad: any same-cluster keyword, any form.
+	if !Matches(MatchBroad, 3, 99, true, FormReordered) {
+		t.Fatal("broad/same-cluster")
+	}
+	if Matches(MatchBroad, 3, 99, false, FormBare) {
+		t.Fatal("broad must reject other clusters")
+	}
+}
+
+func TestMatchesHierarchyProperty(t *testing.T) {
+	// Whenever exact matches, phrase must match; whenever phrase matches
+	// (same cluster), broad must match.
+	f := func(bidKw, queryKw uint8, form8 uint8) bool {
+		form := QueryForm(form8 % 3)
+		same := bidKw/8 == queryKw/8 // synthetic cluster
+		e := Matches(MatchExact, int(bidKw), int(queryKw), same, form)
+		ph := Matches(MatchPhrase, int(bidKw), int(queryKw), same, form)
+		br := Matches(MatchBroad, int(bidKw), int(queryKw), same, form)
+		if e && !ph {
+			return false
+		}
+		if bidKw == queryKw && !same {
+			return true // impossible cluster assignment; skip
+		}
+		if ph && !br {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEligibleByForm(t *testing.T) {
+	p, _ := indexFixture(t)
+	x := p.Index()
+	// Bare query on keyword 3: exact + phrase + broad all eligible.
+	if got := x.Eligible(verticals.Games, market.US, 3, 1, FormBare, alwaysAlive); len(got) != 3 {
+		t.Fatalf("bare: %d eligible, want 3", len(got))
+	}
+	// Extended: phrase + broad.
+	if got := x.Eligible(verticals.Games, market.US, 3, 1, FormExtended, alwaysAlive); len(got) != 2 {
+		t.Fatalf("extended: %d eligible, want 2", len(got))
+	}
+	// Reordered: broad only.
+	if got := x.Eligible(verticals.Games, market.US, 3, 1, FormReordered, alwaysAlive); len(got) != 1 {
+		t.Fatalf("reordered: %d eligible, want 1", len(got))
+	}
+	// Different keyword in the same cluster: broad only.
+	if got := x.Eligible(verticals.Games, market.US, 7, 1, FormBare, alwaysAlive); len(got) != 1 {
+		t.Fatalf("same-cluster other keyword: %d eligible, want 1", len(got))
+	}
+	// Different cluster: nothing.
+	if got := x.Eligible(verticals.Games, market.US, 9, 2, FormBare, alwaysAlive); len(got) != 0 {
+		t.Fatalf("other cluster: %d eligible, want 0", len(got))
+	}
+}
+
+func TestEligibleFiltersMarketAndVertical(t *testing.T) {
+	p, _ := indexFixture(t)
+	x := p.Index()
+	if got := x.Eligible(verticals.Games, market.DE, 3, 1, FormBare, alwaysAlive); len(got) != 0 {
+		t.Fatal("wrong market matched")
+	}
+	if got := x.Eligible(verticals.Luxury, market.US, 3, 1, FormBare, alwaysAlive); len(got) != 0 {
+		t.Fatal("wrong vertical matched")
+	}
+}
+
+func TestEligibleFiltersDeadAccounts(t *testing.T) {
+	p, a := indexFixture(t)
+	x := p.Index()
+	dead := func(AccountID) bool { return false }
+	if got := x.Eligible(verticals.Games, market.US, 3, 1, FormBare, dead); len(got) != 0 {
+		t.Fatal("dead account served")
+	}
+	// Shutdown removes entries outright.
+	if err := p.Shutdown(a.ID, simclock.StampAt(1, 0), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 0 {
+		t.Fatalf("index len %d after shutdown", x.Len())
+	}
+}
+
+func TestEligibleAppendReusesBuffer(t *testing.T) {
+	p, _ := indexFixture(t)
+	x := p.Index()
+	buf := make([]BidRef, 0, 16)
+	got := x.EligibleAppend(buf, verticals.Games, market.US, 3, 1, FormBare, alwaysAlive)
+	if len(got) != 3 || cap(got) != 16 {
+		t.Fatalf("append variant: len=%d cap=%d", len(got), cap(got))
+	}
+}
+
+func TestRemoveAdIsolation(t *testing.T) {
+	// Removing one ad's bids must not disturb another ad's entries on the
+	// same posting lists.
+	p := New()
+	a := p.Register(RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Games})
+	if err := p.Approve(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	ad1, _ := p.CreateAd(a.ID, verticals.Games, market.US, adcopy.Creative{}, 0.5, 0)
+	ad2, _ := p.CreateAd(a.ID, verticals.Games, market.US, adcopy.Creative{}, 0.5, 0)
+	for _, ad := range []*Ad{ad1, ad2} {
+		if err := p.AddBid(ad, KeywordBid{KeywordID: 0, Cluster: 0, Match: MatchExact, MaxBid: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.RetireAd(ad1)
+	got := p.Index().Eligible(verticals.Games, market.US, 0, 0, FormBare, alwaysAlive)
+	if len(got) != 1 || got[0].Ad != ad2 {
+		t.Fatalf("wrong survivor: %d refs", len(got))
+	}
+}

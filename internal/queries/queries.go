@@ -1,0 +1,114 @@
+// Package queries generates the synthetic search-query stream the ad
+// network serves against. Real query logs are proprietary; what the
+// reproduction needs from them is (a) a heavy-tailed keyword popularity
+// distribution within each vertical, (b) a realistic market mix, and (c) a
+// mix of query forms (bare keyword, keyword-with-extra-words, reordered)
+// that exercises the three match types of §5.3. The generator provides all
+// three deterministically from a seed.
+package queries
+
+import (
+	"repro/internal/adcopy"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// Query is a single search event as the auction sees it.
+type Query struct {
+	VerticalIdx int
+	Vertical    verticals.Vertical
+	KeywordID   int
+	Cluster     int
+	Form        platform.QueryForm
+	Country     market.Country
+}
+
+// Generator produces queries. It owns one keyword universe per vertical
+// (shared with agents through Universe) and per-vertical Zipf samplers for
+// keyword popularity.
+type Generator struct {
+	rng       *stats.RNG
+	countries *market.Sampler
+	verts     []verticals.Info
+	vertW     []float64
+	universes []*adcopy.Universe
+	zipfs     []*stats.Zipf
+}
+
+// FormMix is the stationary distribution of query forms. Ad-clicking
+// traffic concentrates on short head queries — the bare keyword — with a
+// smaller share carrying extra context words and a tail reordered/mixed.
+var FormMix = [3]float64{0.60, 0.27, 0.13} // bare, extended, reordered
+
+// NewGenerator constructs a query generator. The keyword universes are
+// built deterministically (no randomness), so agents constructed with the
+// same verticals package observe identical keyword IDs.
+func NewGenerator(rng *stats.RNG) *Generator {
+	g := &Generator{
+		rng:       rng,
+		countries: market.NewTrafficSampler(rng.ForkNamed("query-countries")),
+		verts:     verticals.All(),
+	}
+	g.vertW = make([]float64, len(g.verts))
+	g.universes = make([]*adcopy.Universe, len(g.verts))
+	g.zipfs = make([]*stats.Zipf, len(g.verts))
+	zrng := rng.ForkNamed("query-zipf")
+	for i, v := range g.verts {
+		g.vertW[i] = v.QueryShare
+		g.universes[i] = adcopy.BuildUniverse(v)
+		g.zipfs[i] = stats.NewZipf(zrng.ForkNamed(string(v.Name)), 1.45, 2.0, uint64(g.universes[i].Size()))
+	}
+	return g
+}
+
+// Universe returns the keyword universe for the vertical at index i in
+// verticals.All() order.
+func (g *Generator) Universe(i int) *adcopy.Universe { return g.universes[i] }
+
+// UniverseFor returns the universe for a named vertical, or nil.
+func (g *Generator) UniverseFor(v verticals.Vertical) *adcopy.Universe {
+	i := verticals.Index(v)
+	if i < 0 {
+		return nil
+	}
+	return g.universes[i]
+}
+
+// Next draws the next query.
+func (g *Generator) Next() Query {
+	vi := stats.Categorical(g.rng, g.vertW)
+	kw := int(g.zipfs[vi].Uint64())
+	u := g.universes[vi]
+	var form platform.QueryForm
+	switch r := g.rng.Float64(); {
+	case r < FormMix[0]:
+		form = platform.FormBare
+	case r < FormMix[0]+FormMix[1]:
+		form = platform.FormExtended
+	default:
+		form = platform.FormReordered
+	}
+	return Query{
+		VerticalIdx: vi,
+		Vertical:    g.verts[vi].Name,
+		KeywordID:   kw,
+		Cluster:     u.Keywords[kw].Cluster,
+		Form:        form,
+		Country:     g.countries.Sample(),
+	}
+}
+
+// NextInVertical draws a query restricted to one vertical (used by
+// focused tests and the auction walk-through example).
+func (g *Generator) NextInVertical(vi int) Query {
+	q := g.Next()
+	q.VerticalIdx = vi
+	q.Vertical = g.verts[vi].Name
+	u := g.universes[vi]
+	kw := int(g.zipfs[vi].Uint64())
+	q.KeywordID = kw
+	q.Cluster = u.Keywords[kw].Cluster
+	return q
+}

@@ -1,0 +1,389 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adcopy"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/figures"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+func init() {
+	register("fig5", "CDF of impression rates, fraud vs non-fraud", runFig5)
+	register("fig6", "Clicks received vs impression rate", runFig6)
+	register("fig7", "Ads and keywords created/modified per account, by subset", runFig7)
+	register("fig8", "Fraud spend by vertical over time (techsupport policy change)", runFig8)
+	register("table2", "Example ads from popular fraud categories", runTable2)
+	register("table3", "Country distribution of fraudulent clicks", runTable3)
+	register("table4", "Match-type distribution of clicks, fraud vs non-fraud", runTable4)
+	register("fig9", "Bidding style: match-type mix and bid levels per subset", runFig9)
+}
+
+func runFig5(env *Env) *Output {
+	o := &Output{ID: "fig5", Title: "Impression rates (impressions/day)",
+		Paper: "fraud CDF right-shifted: fraudsters show ads faster than legitimate advertisers"}
+	b := env.Primary()
+	w := b.Window.Window
+	// The paper's Figure 5 compares the uniform 'Fraud' and 'Nonfraud'
+	// populations; an impression rate is only "witnessed" for advertisers
+	// whose ads were shown at all.
+	witnessed := func(sub core.Subset) *stats.ECDF {
+		var vals []float64
+		for _, id := range sub.IDs {
+			if r := env.Study.ImpressionRate(id, w, b.WI); r > 0 {
+				vals = append(vals, r)
+			}
+		}
+		return stats.NewECDF(vals)
+	}
+	fr := witnessed(b.Fraud)
+	nf := witnessed(b.Nonfraud)
+	o.Lines = append(o.Lines, CDFRows([]string{"Fraud", "Nonfraud"}, []*stats.ECDF{fr, nf})...)
+	o.Lines = append(o.Lines, PlotCDFs([]string{"Fraud", "Nonfraud"}, []*stats.ECDF{fr, nf}, true, 64, 12)...)
+	attachCDFSVG(o, "fig5.svg", "Impression rates", "impressions per day",
+		[]string{"Fraud", "Nonfraud"}, []*stats.ECDF{fr, nf}, true)
+	o.Metric("median_rate_fraud", fr.Median())
+	o.Metric("median_rate_nonfraud", nf.Median())
+	if nf.Median() > 0 {
+		o.Metric("fraud_over_nonfraud_median_rate", fr.Median()/nf.Median())
+	}
+	// The paper's visible gap is widest in the lower half of the CDF:
+	// slow legitimate advertisers have no fraudulent counterparts.
+	if v := nf.Quantile(0.10); v > 0 {
+		o.Metric("fraud_over_nonfraud_p10_rate", fr.Quantile(0.10)/v)
+	}
+	return o
+}
+
+func runFig6(env *Env) *Output {
+	o := &Output{ID: "fig6", Title: "Impression rate vs clicks",
+		Paper: "separation at low volume; high-volume fraud blends in with prolific non-fraud"}
+	b := env.Primary()
+	w := b.Window.Window
+	// Bucket accounts by log10(impression rate); report mean clicks per
+	// bucket for fraud and non-fraud.
+	type bucket struct {
+		n      int
+		clicks float64
+	}
+	collect := func(sub core.Subset) map[int]*bucket {
+		m := map[int]*bucket{}
+		for _, id := range sub.IDs {
+			r := env.Study.ImpressionRate(id, w, b.WI)
+			if r <= 0 {
+				continue
+			}
+			k := logBucket(r)
+			bb := m[k]
+			if bb == nil {
+				bb = &bucket{}
+				m[k] = bb
+			}
+			bb.n++
+			bb.clicks += float64(env.Study.WindowClicks(id, b.WI))
+		}
+		return m
+	}
+	fr := collect(b.Fraud)
+	nf := collect(b.Nonfraud)
+	keys := map[int]bool{}
+	for k := range fr {
+		keys[k] = true
+	}
+	for k := range nf {
+		keys[k] = true
+	}
+	var ks []int
+	for k := range keys {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var lastRatio float64
+	for _, k := range ks {
+		fm, nm := 0.0, 0.0
+		if bb := fr[k]; bb != nil && bb.n > 0 {
+			fm = bb.clicks / float64(bb.n)
+		}
+		if bb := nf[k]; bb != nil && bb.n > 0 {
+			nm = bb.clicks / float64(bb.n)
+		}
+		o.Add("rate~10^%-3d fraud_mean_clicks=%-10.4g nonfraud_mean_clicks=%-10.4g", k, fm, nm)
+		if fm > 0 && nm > 0 {
+			lastRatio = fm / nm
+		}
+	}
+	o.Metric("highest_bucket_fraud_over_nonfraud", lastRatio)
+	return o
+}
+
+func logBucket(v float64) int {
+	k := 0
+	for v >= 10 {
+		v /= 10
+		k++
+	}
+	for v < 1 {
+		v *= 10
+		k--
+	}
+	return k
+}
+
+func runFig7(env *Env) *Output {
+	o := &Output{ID: "fig7", Title: "Campaign management volume per subset",
+		Paper: "fraud creates >10x fewer ads and keywords than non-fraud; maintenance rates similar"}
+	b := env.Primary()
+	metrics := []struct {
+		name string
+		get  func(*dataset.WindowAgg) float64
+	}{
+		{"ads_created", func(w *dataset.WindowAgg) float64 { return float64(w.AdsCreated) }},
+		{"keywords_created", func(w *dataset.WindowAgg) float64 { return float64(w.KwCreated) }},
+		{"ads_modified", func(w *dataset.WindowAgg) float64 { return float64(w.AdsModified) }},
+		{"keywords_modified", func(w *dataset.WindowAgg) float64 { return float64(w.KwModified) }},
+	}
+	subs := b.ComparisonPairs()
+	for _, m := range metrics {
+		get := func(id platform.AccountID) float64 {
+			if w := env.Study.WindowAgg(id, b.WI); w != nil {
+				return m.get(w)
+			}
+			return 0
+		}
+		var names []string
+		var es []*stats.ECDF
+		for _, sub := range subs {
+			names = append(names, sub.Name)
+			es = append(es, sub.ECDF(get))
+		}
+		o.Add("-- %s --", m.name)
+		o.Lines = append(o.Lines, CDFRows(names, es)...)
+		// Headline: F-with-clicks vs NF-with-clicks medians.
+		fm, nm := es[0].Median(), es[1].Median()
+		o.Metric("median_"+m.name+"_fraud", fm)
+		o.Metric("median_"+m.name+"_nonfraud", nm)
+	}
+	return o
+}
+
+func runFig8(env *Env) *Output {
+	o := &Output{ID: "fig8", Title: "Fraud spend by vertical per month",
+		Paper: "techsupport dominates until the policy ban, then collapses; downloads/luxury/impersonation persist"}
+	// The spend threshold scales with the simulated economy: use the 90th
+	// percentile of fraud monthly spend as a floor analog of the paper's
+	// $2000/month cut.
+	spend := env.Study.VerticalMonthSpend(1.0)
+	tsIdx := verticals.Index(verticals.TechSupport)
+	var months []int
+	for m := range spend {
+		if m >= 0 {
+			months = append(months, m)
+		}
+	}
+	sort.Ints(months)
+	banMonth := int(env.Res.Config.Detection.TechSupportBanDay) / 30
+	var tsBefore, tsAfter, othBefore float64
+	for _, m := range months {
+		row := spend[m]
+		// Top verticals this month.
+		type vs struct {
+			v  int
+			sp float64
+		}
+		var list []vs
+		var tsSpend, total float64
+		for v, sp := range row {
+			list = append(list, vs{v, sp})
+			total += sp
+			if v == tsIdx {
+				tsSpend += sp
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].sp > list[j].sp })
+		line := fmt.Sprintf("month %-3d (%s)", m, monthLabel(m))
+		for i, e := range list {
+			if i >= 4 {
+				break
+			}
+			line += fmt.Sprintf("  %s=%.4g", verticals.All()[e.v].Name, e.sp)
+		}
+		o.Add("%s", line)
+		if m < banMonth {
+			tsBefore += tsSpend
+			othBefore += total - tsSpend
+		} else if m > banMonth {
+			tsAfter += tsSpend
+		}
+	}
+	// Figure: monthly spend lines for the six biggest verticals overall.
+	totals := map[int]float64{}
+	for _, row := range spend {
+		for v, sp := range row {
+			totals[v] += sp
+		}
+	}
+	type vt struct {
+		v  int
+		sp float64
+	}
+	var ranked []vt
+	for v, sp := range totals {
+		ranked = append(ranked, vt{v, sp})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].sp > ranked[j].sp })
+	var series []figures.Series
+	for i, e := range ranked {
+		if i >= 6 {
+			break
+		}
+		s := figures.Series{Name: string(verticals.All()[e.v].Name)}
+		for _, m := range months {
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, spend[m][e.v])
+		}
+		series = append(series, s)
+	}
+	if len(series) > 0 {
+		o.SVG("fig8.svg", figures.LinePlot("Fraud spend by vertical", "month", "spend", series))
+	}
+	o.Metric("techsupport_spend_before_ban", tsBefore)
+	o.Metric("techsupport_spend_after_ban", tsAfter)
+	if tsBefore > 0 {
+		o.Metric("techsupport_after_over_before", tsAfter/tsBefore)
+	}
+	if othBefore > 0 {
+		o.Metric("techsupport_share_before_ban", tsBefore/(tsBefore+othBefore))
+	}
+	return o
+}
+
+func monthLabel(m int) string {
+	return fmt.Sprintf("%d/Y%d", m%12+1, m/12+1)
+}
+
+func runTable2(env *Env) *Output {
+	o := &Output{ID: "table2", Title: "Example ads per category",
+		Paper: "techsupport/downloads/luxury/wrinkles/impersonation creatives"}
+	gen := adcopy.NewGenerator(stats.NewRNG(7))
+	dom := adcopy.NewDomainGenerator(stats.NewRNG(11))
+	for _, v := range []verticals.Vertical{
+		verticals.TechSupport, verticals.Downloads, verticals.Luxury,
+		verticals.Wrinkles, verticals.Impersonation,
+	} {
+		info, _ := verticals.Get(v)
+		c := gen.Creative(v, info.BaseTerms[0], dom.Unique(), 0.5)
+		o.Add("%-14s | %-34s | %s", v, c.Title, c.Body)
+	}
+	o.Metric("categories", 5)
+	return o
+}
+
+func runTable3(env *Env) *Output {
+	o := &Output{ID: "table3", Title: "Geography of fraudulent clicks",
+		Paper: "US ~61% of fraud clicks but <2% of US clicks; BR highest local fraud share (<6%)"}
+	rows := env.Study.ClickGeography()
+	for i, r := range rows {
+		if i >= 10 {
+			break
+		}
+		o.Add("%-4s %%ofFraud=%6.1f%%  %%ofCountry=%5.2f%%", r.Country, r.ShareOfFraud*100, r.ShareOfCountry*100)
+	}
+	if len(rows) > 0 {
+		o.Metric("top_share_of_fraud", rows[0].ShareOfFraud)
+		o.Metric("top_is_US", boolMetric(string(rows[0].Country) == "US"))
+		o.Metric("us_share_of_country", shareOfCountry(rows, "US"))
+		o.Metric("br_share_of_country", shareOfCountry(rows, "BR"))
+	}
+	return o
+}
+
+func shareOfCountry(rows []core.ClickGeoRow, c string) float64 {
+	for _, r := range rows {
+		if string(r.Country) == c {
+			return r.ShareOfCountry
+		}
+	}
+	return 0
+}
+
+func runTable4(env *Env) *Output {
+	o := &Output{ID: "table4", Title: "Clicks by match type",
+		Paper: "fraud: exact 61.6%, phrase 31.1%, broad 7.3%; non-fraud: 67.9/23.3/8.8 — phrase over-represented in fraud"}
+	rows := env.Study.MatchTypeClicks()
+	for _, r := range rows {
+		o.Add("%-7s %%ofFraud=%6.2f%%  %%ofType=%5.2f%%  nonfraud%%=%6.2f%%",
+			r.Match, r.ShareOfFraud*100, r.ShareOfType*100, r.NonfraudShare*100)
+		o.Metric("fraud_share_"+r.Match.String(), r.ShareOfFraud)
+		o.Metric("nonfraud_share_"+r.Match.String(), r.NonfraudShare)
+	}
+	return o
+}
+
+func runFig9(env *Env) *Output {
+	o := &Output{ID: "fig9", Title: "Bidding style per subset",
+		Paper: "fraud skews away from exact toward phrase/broad; median max bid = default for everyone"}
+	b := env.Primary()
+	subs := []core.Subset{
+		b.FWithClicks, b.NFWithClicks,
+		b.FSpendWeight, b.NFSpendMatch,
+		b.FVolumeWeight, b.NFVolumeMatch,
+	}
+	for _, m := range platform.MatchTypes {
+		mix := func(id platform.AccountID) float64 { return env.Study.MatchMix(id)[m] }
+		var names []string
+		var es []*stats.ECDF
+		for _, sub := range subs {
+			names = append(names, sub.Name)
+			es = append(es, sub.ECDF(mix))
+		}
+		o.Add("-- proportion of bids that are %s --", m)
+		o.Lines = append(o.Lines, CDFRows(names, es)...)
+		o.Metric(fmt.Sprintf("median_%s_share_fraud", m), es[0].Median())
+		o.Metric(fmt.Sprintf("median_%s_share_nonfraud", m), es[1].Median())
+	}
+	// Average bid per match type (normalized; only accounts holding bids
+	// of that type enter the distribution).
+	for _, m := range platform.MatchTypes {
+		var names []string
+		var es []*stats.ECDF
+		for _, sub := range subs {
+			var vals []float64
+			for _, id := range sub.IDs {
+				if v, ok := env.Study.AvgBid(id, m); ok {
+					vals = append(vals, v)
+				}
+			}
+			names = append(names, sub.Name)
+			es = append(es, stats.NewECDF(vals))
+		}
+		o.Add("-- average normalized %s bid --", m)
+		o.Lines = append(o.Lines, CDFRows(names, es)...)
+		o.Metric(fmt.Sprintf("median_%s_bid_fraud", m), es[0].Median())
+		o.Metric(fmt.Sprintf("median_%s_bid_nonfraud", m), es[1].Median())
+	}
+	// Share of each population with zero exact bids, over the uniform
+	// subsets (§5.3: "60% of fraudulent advertisers do not have even a
+	// single exact bid (compared to about 50% of legitimate
+	// advertisers)"). Click-weighted subsets would under-count: accounts
+	// that receive clicks skew toward exact users.
+	zeroExact := func(sub core.Subset) float64 {
+		if sub.Len() == 0 {
+			return 0
+		}
+		n := 0
+		for _, id := range sub.IDs {
+			if env.Study.MatchMix(id)[platform.MatchExact] == 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(sub.Len())
+	}
+	o.Metric("zero_exact_share_fraud", zeroExact(b.Fraud))
+	o.Metric("zero_exact_share_nonfraud", zeroExact(b.Nonfraud))
+	return o
+}

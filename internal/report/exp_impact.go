@@ -1,0 +1,202 @@
+package report
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig10", "Proportion of impressions affected by fraud competition", runFig10)
+	register("fig11", "Proportion of spend affected by fraud competition", runFig11)
+	register("fig12", "Ad position, organic vs influenced — non-fraud", runFig12)
+	register("fig13", "Ad position, organic vs influenced — fraud", runFig13)
+	register("fig14", "CTR, organic vs influenced — non-fraud (dubious verticals)", runFig14)
+	register("fig15", "CPC, organic vs influenced — non-fraud (dubious verticals)", runFig15)
+	register("fig16", "CTR, organic vs influenced — fraud (dubious verticals)", runFig16)
+	register("fig17", "CPC, organic vs influenced — fraud (dubious verticals)", runFig17)
+}
+
+// exposureECDF builds the ECDF of per-account fraud-competition exposure
+// over a subset; spend selects the Figure 11 variant.
+func exposureECDF(env *Env, sub core.Subset, wi int, spend bool) *stats.ECDF {
+	var vals []float64
+	for _, id := range sub.IDs {
+		im, sp, ok := env.Study.CompetitionExposure(id, wi)
+		if !ok {
+			continue
+		}
+		if spend {
+			vals = append(vals, sp)
+		} else {
+			vals = append(vals, im)
+		}
+	}
+	return stats.NewECDF(vals)
+}
+
+func competitionFigure(env *Env, id, title, paper string, spend bool) *Output {
+	o := &Output{ID: id, Title: title, Paper: paper}
+	b := env.Primary()
+	subs := []core.Subset{
+		b.FSpendWeight, b.FVolumeWeight, b.FWithClicks,
+		b.NFSpendWeight, b.NFVolumeWeight, b.NFWithClicks,
+	}
+	var names []string
+	var es []*stats.ECDF
+	for _, sub := range subs {
+		names = append(names, sub.Name)
+		es = append(es, exposureECDF(env, sub, b.WI, spend))
+	}
+	o.Lines = append(o.Lines, CDFRows(names, es)...)
+	attachCDFSVG(o, id+".svg", title, "proportion affected", names, es, false)
+	o.Metric("median_fraud", es[2].Median())       // F with clicks
+	o.Metric("median_nonfraud", es[5].Median())    // NF with clicks
+	o.Metric("p95_nonfraud", es[5].Quantile(0.95)) // tail exposure
+	return o
+}
+
+func runFig10(env *Env) *Output {
+	return competitionFigure(env, "fig10", "Impression exposure to fraud competition",
+		"NF median <0.6% and p95 <20%; F median >90% of impressions beside other fraud", false)
+}
+
+func runFig11(env *Env) *Output {
+	return competitionFigure(env, "fig11", "Spend exposure to fraud competition",
+		"fraud spend even more concentrated under fraud competition (~99% affected)", true)
+}
+
+func positionFigure(env *Env, id, title, paper string, fraudSide bool) *Output {
+	o := &Output{ID: id, Title: title, Paper: paper}
+	b := env.Primary()
+	var subs []core.Subset
+	if fraudSide {
+		subs = []core.Subset{b.FWithClicks, b.FVolumeWeight}
+	} else {
+		subs = []core.Subset{b.NFWithClicks, b.NFVolumeWeight}
+	}
+	for _, sub := range subs {
+		org, infl := env.Study.PositionDistributions(sub, b.WI)
+		o.Add("%-18s top-position organic=%s influenced=%s", sub.Name,
+			Pct(core.TopPositionShare(org)), Pct(core.TopPositionShare(infl)))
+		if sub.Name == subs[0].Name {
+			o.Metric("top_pos_share_organic", core.TopPositionShare(org))
+			o.Metric("top_pos_share_influenced", core.TopPositionShare(infl))
+			o.Metric("median_pos_organic", histMedian(org))
+			o.Metric("median_pos_influenced", histMedian(infl))
+		}
+	}
+	return o
+}
+
+// histMedian returns the median position of a position histogram.
+func histMedian(hist []int64) float64 {
+	var total int64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	var run int64
+	for i, n := range hist {
+		run += n
+		if run*2 >= total {
+			return float64(i + 1)
+		}
+	}
+	return float64(len(hist))
+}
+
+func runFig12(env *Env) *Output {
+	return positionFigure(env, "fig12", "Ad position under fraud competition — non-fraud",
+		"competing with fraud costs ~1 position; top-slot probability ~20% -> ~10%", false)
+}
+
+func runFig13(env *Env) *Output {
+	return positionFigure(env, "fig13", "Ad position under fraud competition — fraud",
+		"fraud-vs-fraud competition drops top-position probability ~10%", true)
+}
+
+func engagementFigure(env *Env, id, title, paper string, fraudSide, cpc bool) *Output {
+	o := &Output{ID: id, Title: title, Paper: paper}
+	b := env.Primary()
+	var subs []core.Subset
+	if fraudSide {
+		subs = []core.Subset{b.FWithClicks, b.FVolumeWeight}
+	} else {
+		subs = []core.Subset{b.NFWithClicks, b.NFVolumeWeight}
+	}
+	// CPC figures normalize by the median organic CPC of 'NF with clicks'.
+	norm := 1.0
+	if cpc {
+		ref := env.Study.CPCSplit(b.NFWithClicks, b.WI)
+		if m := stats.Median(ref.Organic); m > 0 {
+			norm = m
+		}
+	}
+	for si, sub := range subs {
+		var split core.EngagementSplit
+		if cpc {
+			split = env.Study.CPCSplit(sub, b.WI).NormalizeBy(norm)
+		} else {
+			split = env.Study.CTRSplit(sub, b.WI)
+		}
+		org := stats.NewECDF(split.Organic)
+		infl := stats.NewECDF(split.Influenced)
+		o.Add("-- %s --", sub.Name)
+		o.Lines = append(o.Lines, CDFRows([]string{"organic", "influenced"}, []*stats.ECDF{org, infl})...)
+		if si == 0 {
+			attachCDFSVG(o, id+".svg", title, "per-advertiser average",
+				[]string{sub.Name + " (organic)", sub.Name + " (influenced)"},
+				[]*stats.ECDF{org, infl}, true)
+		}
+		if si == 0 {
+			o.Metric("median_organic", org.Median())
+			o.Metric("median_influenced", infl.Median())
+			if org.Median() > 0 {
+				o.Metric("influenced_over_organic_median", infl.Median()/org.Median())
+			}
+			if !cpc {
+				// Share of accounts with near-zero CTR under each regime
+				// (the Figure 14/16 low-end collapse).
+				o.Metric("nearzero_organic", nearZeroShare(split.Organic))
+				o.Metric("nearzero_influenced", nearZeroShare(split.Influenced))
+			}
+		}
+	}
+	return o
+}
+
+// nearZeroShare returns the fraction of values below 1e-3 (CTR ~ zero).
+func nearZeroShare(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range vals {
+		if v < 1e-3 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vals))
+}
+
+func runFig14(env *Env) *Output {
+	return engagementFigure(env, "fig14", "CTR under fraud competition — non-fraud",
+		"near-zero-CTR share jumps to ~50% under fraud competition; median halves for high-volume NF", false, false)
+}
+
+func runFig15(env *Env) *Output {
+	return engagementFigure(env, "fig15", "CPC under fraud competition — non-fraud",
+		"high-volume NF ~+30% median CPC; random NF <+5%", false, true)
+}
+
+func runFig16(env *Env) *Output {
+	return engagementFigure(env, "fig16", "CTR under fraud competition — fraud",
+		"near-zero share ~few% -> ~1/3 under competition; median changes little", true, false)
+}
+
+func runFig17(env *Env) *Output {
+	return engagementFigure(env, "fig17", "CPC under fraud competition — fraud",
+		"fraud CPC roughly doubles when competing with fraud", true, true)
+}

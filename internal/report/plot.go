@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// PlotCDFs renders a family of named ECDFs as an ASCII plot — y is
+// cumulative probability 0..1, x spans the pooled value range, log-scaled
+// when logX is set (the paper's CDF figures are almost all log-x). Each
+// series draws with its own glyph; the legend maps glyphs to names.
+func PlotCDFs(names []string, ecdfs []*stats.ECDF, logX bool, width, height int) []string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 12
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	// Pooled x-range over non-empty series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range ecdfs {
+		if e.N() == 0 {
+			continue
+		}
+		mn, mx := e.Min(), e.Max()
+		if logX {
+			if mn <= 0 {
+				mn = smallestPositive(e)
+			}
+			if mn <= 0 {
+				continue
+			}
+		}
+		if mn < lo {
+			lo = mn
+		}
+		if mx > hi {
+			hi = mx
+		}
+	}
+	if !(hi > lo) {
+		return []string{"(not enough data to plot)"}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, e := range ecdfs {
+		if e.N() == 0 {
+			continue
+		}
+		g := glyphs[si%len(glyphs)]
+		// Sample the curve densely along x and place one glyph per column.
+		for col := 0; col < width; col++ {
+			// Invert: find the value at this column, then its CDF.
+			var v float64
+			f := float64(col) / float64(width-1)
+			if logX {
+				v = math.Exp(math.Log(lo) + f*(math.Log(hi)-math.Log(lo)))
+			} else {
+				v = lo + f*(hi-lo)
+			}
+			p := e.At(v)
+			row := height - 1 - int(p*float64(height-1))
+			if row >= 0 && row < height && grid[row][col] == ' ' {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	out := make([]string, 0, height+3)
+	for r, rowBytes := range grid {
+		y := 1 - float64(r)/float64(height-1)
+		out = append(out, fmt.Sprintf("%4.2f |%s", y, string(rowBytes)))
+	}
+	scale := "linear"
+	if logX {
+		scale = "log"
+	}
+	out = append(out, fmt.Sprintf("      %s", strings.Repeat("-", width)))
+	out = append(out, fmt.Sprintf("      x: %.3g .. %.3g (%s)", lo, hi, scale))
+	var legend strings.Builder
+	legend.WriteString("      ")
+	for si, n := range names {
+		if si > 0 {
+			legend.WriteString("  ")
+		}
+		fmt.Fprintf(&legend, "%c=%s", glyphs[si%len(glyphs)], n)
+	}
+	out = append(out, legend.String())
+	return out
+}
+
+// smallestPositive returns the series' smallest positive sample, or 0.
+func smallestPositive(e *stats.ECDF) float64 {
+	for _, v := range e.Values() {
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,310 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// sharedEnv memoizes one small simulation for every test in this package.
+var (
+	envOnce sync.Once
+	envVal  *Env
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := sim.SmallConfig()
+		cfg.Seed = 7
+		res := sim.New(cfg).Run()
+		envVal = NewEnv(res, 1500, 11)
+	})
+	return envVal
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered.
+	want := []string{
+		"fig1", "table1", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "table2", "table3", "table4", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"ext1", "ext2",
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	env := testEnv(t)
+	for _, e := range All() {
+		out := e.Run(env)
+		if out == nil {
+			t.Fatalf("%s returned nil", e.ID)
+		}
+		if out.ID != e.ID {
+			t.Fatalf("%s output carries ID %s", e.ID, out.ID)
+		}
+		if len(out.Lines) == 0 && len(out.Metrics) == 0 {
+			t.Fatalf("%s produced no output", e.ID)
+		}
+		s := out.String()
+		if !strings.Contains(s, e.ID) {
+			t.Fatalf("%s render missing ID header", e.ID)
+		}
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	env := testEnv(t)
+	metric := func(id, name string) float64 {
+		t.Helper()
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("no experiment %s", id)
+		}
+		out := e.Run(env)
+		v, ok := out.Metrics[name]
+		if !ok {
+			t.Fatalf("%s has no metric %s (have %v)", id, name, out.Metrics)
+		}
+		return v
+	}
+
+	// Figure 1: fraud share of registrations starts above 1/4 and stays
+	// below 3/4 (paper: above 1/3 rising past 1/2 over two years; the
+	// small run covers only the ramp's start).
+	if v := metric("fig1", "share_first_month"); v < 0.25 || v > 0.55 {
+		t.Errorf("fig1 first-month share %v", v)
+	}
+
+	// Table 1: US tops every fraud subset.
+	out, _ := Get("table1")
+	t1 := out.Run(env)
+	for k, v := range t1.Metrics {
+		if strings.HasPrefix(k, "top_is_US") && v != 1 {
+			t.Errorf("table1 %s = %v", k, v)
+		}
+	}
+
+	// Figure 2: median fraud lifetime under ~2 days even at small scale.
+	if v := metric("fig2", "median_account_lifetime_y1_days"); v <= 0 || v > 3 {
+		t.Errorf("fig2 median lifetime %v", v)
+	}
+
+	// Figure 4: success concentrated in the top decile.
+	if v := metric("fig4", "top10pct_click_share"); v < 0.6 {
+		t.Errorf("fig4 top-10%% click share %v", v)
+	}
+
+	// Figure 7: fraud manages far fewer ads/keywords than non-fraud.
+	f := metric("fig7", "median_ads_created_fraud")
+	nf := metric("fig7", "median_ads_created_nonfraud")
+	if f >= nf {
+		t.Errorf("fig7 ads medians fraud=%v nonfraud=%v", f, nf)
+	}
+
+	// Figure 9: the fraud population is broad/phrase-skewed.
+	fb := metric("fig9", "median_broad_share_fraud")
+	nb := metric("fig9", "median_broad_share_nonfraud")
+	if fb <= nb {
+		t.Errorf("fig9 broad share fraud=%v nonfraud=%v", fb, nb)
+	}
+
+	// Figure 17: fraud CPC rises under fraud competition.
+	if v := metric("fig17", "influenced_over_organic_median"); v < 1 {
+		t.Errorf("fig17 CPC ratio %v", v)
+	}
+}
+
+func TestOutputHelpers(t *testing.T) {
+	o := &Output{ID: "x", Title: "t", Paper: "p"}
+	o.Add("row %d", 1)
+	o.Metric("m", 2.5)
+	s := o.String()
+	for _, want := range []string{"== x: t ==", "paper: p", "row 1", "m", "2.5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCDFRows(t *testing.T) {
+	e1 := stats.NewECDF([]float64{1, 2, 3})
+	e2 := stats.NewECDF([]float64{10, 20, 30})
+	rows := CDFRows([]string{"a", "b"}, []*stats.ECDF{e1, e2})
+	if len(rows) != len(cdfQuantiles)+2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if !strings.Contains(rows[0], "a") || !strings.Contains(rows[0], "b") {
+		t.Fatal("header missing names")
+	}
+	last := rows[len(rows)-1]
+	if !strings.Contains(last, "3") {
+		t.Fatalf("n row wrong: %q", last)
+	}
+}
+
+func TestSparkSeries(t *testing.T) {
+	s := SparkSeries("x", []float64{0, 1, 2, 3})
+	if !strings.Contains(s, "x") || !strings.Contains(s, "█") {
+		t.Fatalf("spark: %q", s)
+	}
+	if got := SparkSeries("e", nil); !strings.Contains(got, "empty") {
+		t.Fatal("empty series")
+	}
+	flat := SparkSeries("f", []float64{5, 5})
+	if !strings.Contains(flat, "▁▁") {
+		t.Fatalf("flat series: %q", flat)
+	}
+}
+
+func TestLogBucket(t *testing.T) {
+	cases := map[float64]int{0.5: -1, 1: 0, 5: 0, 10: 1, 99: 1, 100: 2, 0.01: -2}
+	for v, want := range cases {
+		if got := logBucket(v); got != want {
+			t.Fatalf("logBucket(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct: %q", Pct(0.123))
+	}
+}
+
+func TestEnvBatteryPerWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs env")
+	}
+	env := testEnv(t)
+	if len(env.Battery) != len(env.Res.Collector.Windows()) {
+		t.Fatal("battery/window count mismatch")
+	}
+	if env.Primary() != env.Battery[0] {
+		t.Fatal("primary battery mismatch")
+	}
+}
+
+func TestPlotCDFs(t *testing.T) {
+	a := stats.NewECDF([]float64{1, 2, 3, 4, 5})
+	b := stats.NewECDF([]float64{10, 20, 30})
+	rows := PlotCDFs([]string{"alpha", "beta"}, []*stats.ECDF{a, b}, true, 40, 8)
+	if len(rows) != 8+3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	if !strings.Contains(joined, "*=alpha") || !strings.Contains(joined, "+=beta") {
+		t.Fatalf("legend missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "log") {
+		t.Fatal("scale label missing")
+	}
+	// Alpha's glyph must appear left of beta's overall (smaller values).
+	var alphaFirst, betaFirst int = -1, -1
+	for col := 0; col < 40; col++ {
+		for _, r := range rows[:8] {
+			line := r[6:]
+			if col < len(line) {
+				if line[col] == '*' && alphaFirst < 0 {
+					alphaFirst = col
+				}
+				if line[col] == '+' && betaFirst < 0 {
+					betaFirst = col
+				}
+			}
+		}
+	}
+	if alphaFirst < 0 || betaFirst < 0 || alphaFirst > betaFirst {
+		t.Fatalf("glyph placement wrong: alpha@%d beta@%d", alphaFirst, betaFirst)
+	}
+}
+
+func TestPlotCDFsDegenerate(t *testing.T) {
+	rows := PlotCDFs([]string{"x"}, []*stats.ECDF{stats.NewECDF(nil)}, false, 40, 8)
+	if len(rows) != 1 || !strings.Contains(rows[0], "not enough") {
+		t.Fatalf("degenerate plot: %v", rows)
+	}
+	same := stats.NewECDF([]float64{5, 5, 5})
+	rows = PlotCDFs([]string{"x"}, []*stats.ECDF{same}, false, 40, 8)
+	if len(rows) != 1 {
+		t.Fatalf("constant series should not plot: %v", rows)
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs env")
+	}
+	env := testEnv(t)
+	ext1, _ := Get("ext1")
+	o1 := ext1.Run(env)
+	aucAll, ok := o1.Metrics["auc_all_fraud"]
+	if !ok {
+		t.Fatal("ext1 missing AUC")
+	}
+	if aucAll < 0.5 {
+		t.Errorf("anomaly scorer worse than random on the whole population: %v", aucAll)
+	}
+	if aucTop, ok := o1.Metrics["auc_successful_fraud"]; ok && aucTop > aucAll+0.05 {
+		t.Errorf("§7 claim inverted: scorer separates successful fraud (%v) better than all fraud (%v)",
+			aucTop, aucAll)
+	}
+
+	ext2, _ := Get("ext2")
+	o2 := ext2.Run(env)
+	if len(o2.Lines) == 0 {
+		t.Fatal("ext2 produced nothing")
+	}
+	mf := o2.Metrics["median_life_fresh_days"]
+	mr := o2.Metrics["median_life_repeat_days"]
+	if mr > 0 && mf > 0 && mr > mf*1.5 {
+		t.Errorf("repeat actors living much longer than fresh ones: fresh=%v repeat=%v", mf, mr)
+	}
+}
+
+func TestSVGAttachment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs env")
+	}
+	env := testEnv(t)
+	for _, id := range []string{"fig2", "fig3", "fig5", "fig10"} {
+		e, _ := Get(id)
+		out := e.Run(env)
+		svg, ok := out.SVGs[id+".svg"]
+		if !ok {
+			t.Errorf("%s did not attach an SVG (have %v)", id, keysOf(out.SVGs))
+			continue
+		}
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s SVG malformed", id)
+		}
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

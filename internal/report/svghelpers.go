@@ -1,0 +1,34 @@
+package report
+
+import (
+	"repro/internal/figures"
+	"repro/internal/stats"
+)
+
+// cdfFigureSeries converts an ECDF to a plot series by sampling it at
+// evenly spaced cumulative probabilities.
+func cdfFigureSeries(name string, e *stats.ECDF, dashed bool) figures.Series {
+	s := figures.Series{Name: name, Dashed: dashed}
+	for _, p := range e.Points(120) {
+		s.X = append(s.X, p.X)
+		s.Y = append(s.Y, p.Y)
+	}
+	return s
+}
+
+// attachCDFSVG renders a family of ECDFs as one SVG figure on the output.
+// Alternating solid/dashed styling follows the paper's convention of
+// dashing the comparison series.
+func attachCDFSVG(o *Output, file, title, xLabel string, names []string, es []*stats.ECDF, logX bool) {
+	series := make([]figures.Series, 0, len(es))
+	for i := range es {
+		if es[i].N() == 0 {
+			continue
+		}
+		series = append(series, cdfFigureSeries(names[i], es[i], i%2 == 1))
+	}
+	if len(series) == 0 {
+		return
+	}
+	o.SVG(file, figures.CDFPlot(title, xLabel, series, logX))
+}

@@ -1,0 +1,488 @@
+// Package sim is the discrete-event engine that ties the substrates
+// together into the two-year ecosystem the paper measures: daily account
+// arrivals with a rising fraud share, agent campaign management, the
+// query/auction/click serving loop, billing, and the nightly detection
+// sweep — all deterministic under a single seed.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agents"
+	"repro/internal/auction"
+	"repro/internal/clicks"
+	"repro/internal/dataset"
+	"repro/internal/detection"
+	"repro/internal/platform"
+	"repro/internal/queries"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Seed uint64
+
+	// Days is the simulated span; the standard horizon covers the paper's
+	// full 1/Y1–1/Y3 range.
+	Days simclock.Day
+
+	// QueriesPerDay is the served search volume.
+	QueriesPerDay int
+
+	// RegistrationsPerDay is the mean daily account-arrival count.
+	RegistrationsPerDay float64
+
+	// FraudShareStart/End set the fraudulent fraction of new
+	// registrations, ramping linearly ("generally more than a third — and
+	// near the end more than half" §4.1).
+	FraudShareStart float64
+	FraudShareEnd   float64
+
+	// InitialLegit seeds the pre-existing legitimate advertiser base at
+	// study start (the ecosystem predates the measurement window).
+	InitialLegit int
+
+	// ReRegisterProb is the probability that a shut-down fraudulent
+	// actor returns with a fresh account ("fraudulent advertisers rarely
+	// walk away" §3.2; "a single fraudulent actor may register for
+	// multiple accounts" §4.1). Re-registrations count toward Figure 1's
+	// registration mix but carry burned identities, so they die faster.
+	ReRegisterProb float64
+	// ReRegisterDelayMean is the mean days before the actor returns.
+	ReRegisterDelayMean float64
+
+	// DisableKeywordPockets is an ablation hook: fraud agents sample the
+	// whole keyword universe instead of converging on shared
+	// affiliate-program pockets.
+	DisableKeywordPockets bool
+
+	// CompromisesPerDay is the expected number of legitimate advertiser
+	// accounts hijacked per day (§2's second fraud channel: "they
+	// compromise the accounts of existing legitimate advertisers").
+	// Hijacked accounts run the attacker's campaigns on the victim's
+	// payment standing until account-takeover signals catch them.
+	CompromisesPerDay float64
+
+	Auction   auction.Config
+	Detection detection.Config
+
+	// FullCreatives generates complete ad text (small runs and examples).
+	FullCreatives bool
+
+	// Windows are the named measurement windows tracked per account;
+	// SampleWindow feeds the global Table 3/4 counters.
+	Windows      []simclock.NamedWindow
+	SampleWindow simclock.Window
+
+	// Progress, when non-nil, receives a line every 30 simulated days.
+	Progress func(string)
+}
+
+// DefaultConfig is the full-scale two-year run used by cmd/experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                42,
+		Days:                simclock.Horizon,
+		QueriesPerDay:       25000,
+		RegistrationsPerDay: 66,
+		FraudShareStart:     0.31,
+		FraudShareEnd:       0.46,
+		InitialLegit:        6000,
+		ReRegisterProb:      0.30,
+		ReRegisterDelayMean: 2.5,
+		CompromisesPerDay:   0.25,
+		Auction:             auction.DefaultConfig(),
+		Detection:           detection.DefaultConfig(),
+		Windows:             simclock.Periods(),
+		SampleWindow:        simclock.Y1Q2,
+	}
+}
+
+// MediumConfig trades some statistical depth for speed; it still covers
+// the full horizon, so every experiment remains meaningful. This is the
+// scale the benchmark harness uses.
+func MediumConfig() Config {
+	c := DefaultConfig()
+	c.QueriesPerDay = 8000
+	c.RegistrationsPerDay = 36
+	c.InitialLegit = 2500
+	return c
+}
+
+// SmallConfig is a fast configuration for tests: it still spans Y1Q2 (the
+// window most analyses use) but stops mid-year.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Days = 200
+	c.QueriesPerDay = 1500
+	c.RegistrationsPerDay = 12
+	c.InitialLegit = 400
+	return c
+}
+
+// Result summarizes a completed run. The live objects — platform and
+// collector — are what the measurement library consumes.
+type Result struct {
+	Config    Config
+	Platform  *platform.Platform
+	Collector *dataset.Collector
+
+	Registrations      int
+	FraudRegistrations int
+	Compromises        int
+	Auctions           int64
+	Impressions        int64
+	Clicks             int64
+	FraudClicks        int64
+	Spend              float64
+	FraudSpend         float64
+	RevenueLost        float64
+	ShutdownsByStage   map[dataset.DetectionStage]int
+	Elapsed            time.Duration
+}
+
+// Sim is a running simulation.
+type Sim struct {
+	cfg      Config
+	rng      *stats.RNG
+	p        *platform.Platform
+	col      *dataset.Collector
+	qgen     *queries.Generator
+	factory  *agents.Factory
+	runtime  *agents.Runtime
+	pipeline *detection.Pipeline
+	model    *clicks.Model
+
+	arrRNG   *stats.RNG
+	clickRNG *stats.RNG
+
+	live []*agents.Agent
+
+	// fraudProfiles remembers each fraud account's profile so shutdowns
+	// can spawn next-generation re-registrations.
+	fraudProfiles map[platform.AccountID]agents.Profile
+	// pendingReregs are scheduled actor returns, kept day-ordered.
+	pendingReregs map[simclock.Day][]agents.Profile
+
+	// Serving-loop scratch buffers (single-goroutine).
+	eligibleBuf []platform.BidRef
+	auctionScr  auction.Scratch
+	clickBuf    []int
+
+	res Result
+}
+
+// New wires up a simulation from the configuration.
+func New(cfg Config) *Sim {
+	if cfg.Days <= 0 {
+		cfg.Days = simclock.Horizon
+	}
+	root := stats.NewRNG(cfg.Seed)
+	p := platform.New()
+	col := dataset.NewCollector(cfg.Windows, cfg.SampleWindow)
+	qgen := queries.NewGenerator(root.ForkNamed("queries"))
+	factory := agents.NewFactory(root.ForkNamed("factory"))
+	factory.SetPocketsDisabled(cfg.DisableKeywordPockets)
+	runtime := agents.NewRuntime(p, col, qgen.Universe, root.ForkNamed("runtime"))
+	runtime.FullCreatives = cfg.FullCreatives
+	pipeline := detection.New(cfg.Detection, root.ForkNamed("pipeline"), p, col, cfg.Days)
+	return &Sim{
+		cfg:           cfg,
+		rng:           root,
+		p:             p,
+		col:           col,
+		qgen:          qgen,
+		factory:       factory,
+		runtime:       runtime,
+		pipeline:      pipeline,
+		model:         clicks.DefaultModel(),
+		arrRNG:        root.ForkNamed("arrivals"),
+		clickRNG:      root.ForkNamed("clicks"),
+		fraudProfiles: make(map[platform.AccountID]agents.Profile),
+		pendingReregs: make(map[simclock.Day][]agents.Profile),
+		res:           Result{Config: cfg, Platform: p, Collector: col, ShutdownsByStage: nil},
+	}
+}
+
+// Platform exposes the underlying ad network (read access for analyses).
+func (s *Sim) Platform() *platform.Platform { return s.p }
+
+// Collector exposes the dataset collector.
+func (s *Sim) Collector() *dataset.Collector { return s.col }
+
+// Queries exposes the query generator (examples use its universes).
+func (s *Sim) Queries() *queries.Generator { return s.qgen }
+
+// fraudShare returns the fraudulent fraction of arrivals on a day.
+func (s *Sim) fraudShare(day simclock.Day) float64 {
+	frac := float64(day) / float64(s.cfg.Days)
+	return s.cfg.FraudShareStart + frac*(s.cfg.FraudShareEnd-s.cfg.FraudShareStart)
+}
+
+// detectability derives the pipeline's latent risk surface from a profile.
+func detectability(prof agents.Profile) detection.Detectability {
+	blend := 0.9 - 0.5*prof.Scamminess // legitimate advertisers blend by definition
+	if prof.Fraud {
+		blend = 0.15 + 0.25*prof.Quality
+		if prof.Class == agents.ClassFraudProlific {
+			blend = 0.75 + 0.2*prof.Quality
+		}
+	}
+	if blend > 0.98 {
+		blend = 0.98
+	}
+	return detection.Detectability{
+		PageRisk:    prof.Scamminess,
+		TextRisk:    1 - prof.Evasion,
+		Blend:       blend,
+		HasPhoneAds: prof.Vertical == verticals.TechSupport,
+		Vertical:    prof.Vertical,
+		Target:      prof.Target,
+		Fraud:       prof.Fraud,
+		Prolific:    prof.Class == agents.ClassFraudProlific,
+		Generation:  prof.Generation,
+	}
+}
+
+// register runs one arrival through registration, screening, and (if
+// approved) enrollment and agent spawn.
+func (s *Sim) register(prof agents.Profile, at simclock.Stamp) {
+	s.res.Registrations++
+	if prof.Fraud {
+		s.res.FraudRegistrations++
+	}
+	acct := s.p.Register(platform.RegistrationRequest{
+		At:              at,
+		Country:         prof.Country,
+		Fraud:           prof.Fraud,
+		PrimaryVertical: prof.Vertical,
+		StolenPayment:   prof.StolenPayment,
+		Generation:      prof.Generation,
+	})
+	det := detectability(prof)
+	if prof.Fraud && s.cfg.ReRegisterProb > 0 {
+		s.fraudProfiles[acct.ID] = prof
+	}
+	if !s.pipeline.Screen(acct.ID, det, at) {
+		s.maybeReregister(acct.ID, at.Day())
+		return
+	}
+	if err := s.p.Approve(acct.ID); err != nil {
+		panic(err)
+	}
+	s.pipeline.Enroll(acct.ID, det, at)
+	s.live = append(s.live, s.runtime.Spawn(prof, acct.ID, at))
+}
+
+// maybeReregister rolls the recidivism dice for a just-terminated fraud
+// account and schedules the actor's next-generation return.
+func (s *Sim) maybeReregister(id platform.AccountID, day simclock.Day) {
+	prof, ok := s.fraudProfiles[id]
+	if !ok {
+		return
+	}
+	delete(s.fraudProfiles, id)
+	if !s.arrRNG.Bool(s.cfg.ReRegisterProb) {
+		return
+	}
+	due := day + 1 + simclock.Day(stats.Exponential(s.arrRNG, s.cfg.ReRegisterDelayMean))
+	if due >= s.cfg.Days {
+		return
+	}
+	s.pendingReregs[due] = append(s.pendingReregs[due], s.factory.Recidivate(prof))
+}
+
+// seedInitialPopulation creates the pre-existing legitimate advertiser
+// base with registration stamps before the study epoch, then lets them
+// build their portfolios during a query-free warmup.
+func (s *Sim) seedInitialPopulation() {
+	for i := 0; i < s.cfg.InitialLegit; i++ {
+		prof := s.factory.NewLegit()
+		at := simclock.Stamp(-s.arrRNG.Range(5, 360))
+		s.register(prof, at)
+	}
+	for day := simclock.Day(-40); day < 0; day++ {
+		for _, a := range s.live {
+			s.runtime.Step(a, day)
+		}
+	}
+}
+
+// Run executes the simulation and returns the result. It may be called
+// once per Sim.
+func (s *Sim) Run() *Result {
+	start := time.Now()
+	s.seedInitialPopulation()
+
+	for day := simclock.Day(0); day < s.cfg.Days; day++ {
+		s.stepDay(day)
+		if s.cfg.Progress != nil && int(day)%30 == 29 {
+			fraudAlive := 0
+			for _, a := range s.live {
+				acct := s.p.MustAccount(a.Account)
+				if acct.Fraud && acct.Alive() {
+					fraudAlive++
+				}
+			}
+			s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
+				day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, fraudAlive))
+		}
+	}
+
+	s.res.ShutdownsByStage = s.pipeline.Shutdowns
+	s.res.Elapsed = time.Since(start)
+	return &s.res
+}
+
+// stepDay advances the world by one day.
+func (s *Sim) stepDay(day simclock.Day) {
+	// Policy events visible to arriving fraudsters.
+	if day == s.cfg.Detection.TechSupportBanDay {
+		s.factory.SetTechSupportBanned(true)
+	}
+
+	// Arrivals: fresh registrations plus returning (re-registering)
+	// fraudulent actors.
+	n := stats.Poisson(s.arrRNG, s.cfg.RegistrationsPerDay)
+	share := s.fraudShare(day)
+	for i := 0; i < n; i++ {
+		var prof agents.Profile
+		if s.arrRNG.Bool(share) {
+			prof = s.factory.NewFraud()
+		} else {
+			prof = s.factory.NewLegit()
+		}
+		s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
+	}
+	if returning := s.pendingReregs[day]; len(returning) > 0 {
+		delete(s.pendingReregs, day)
+		for _, prof := range returning {
+			s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
+		}
+	}
+
+	// Account takeovers of mature legitimate advertisers (§2).
+	s.compromiseAccounts(day)
+
+	// Campaign management, compacting out dead agents in the same pass.
+	// Legitimate advertisers whose business has run its course close
+	// their accounts, keeping the ecosystem roughly stationary.
+	liveOut := s.live[:0]
+	for _, a := range s.live {
+		acct := s.p.MustAccount(a.Account)
+		if !acct.Alive() {
+			continue
+		}
+		if a.LifetimeDays > 0 && !acct.Fraud &&
+			float64(day)-float64(acct.Created) > a.LifetimeDays {
+			if err := s.p.Close(a.Account, simclock.StampAt(day, s.arrRNG.Float64())); err == nil {
+				continue
+			}
+		}
+		s.runtime.Step(a, day)
+		liveOut = append(liveOut, a)
+	}
+	s.live = liveOut
+
+	// Serving: queries, auctions, clicks, billing.
+	s.serveQueries(day)
+
+	// Nightly detection sweep; caught actors may re-register.
+	for _, id := range s.pipeline.EndOfDay(day) {
+		s.maybeReregister(id, day)
+	}
+}
+
+// compromiseAccounts hijacks a Poisson number of mature legitimate
+// accounts: the attacker inherits the victim's identity and genuine
+// payment instrument and runs fraud campaigns on it until account-takeover
+// signals catch up. From the measurement library's perspective the whole
+// account becomes "fraudulent" once shut down — the same labeling
+// imperfection the paper accepts (§3.2).
+func (s *Sim) compromiseAccounts(day simclock.Day) {
+	if s.cfg.CompromisesPerDay <= 0 || len(s.live) == 0 {
+		return
+	}
+	n := stats.Poisson(s.arrRNG, s.cfg.CompromisesPerDay)
+	for i := 0; i < n; i++ {
+		for try := 0; try < 20; try++ {
+			a := s.live[s.arrRNG.Intn(len(s.live))]
+			acct := s.p.MustAccount(a.Account)
+			if acct.Fraud || !acct.Alive() || float64(day)-float64(acct.Created) < 30 {
+				continue
+			}
+			prof := s.factory.NewFraud()
+			prof.StolenPayment = false // the victim's instrument is genuine
+			s.runtime.Hijack(a, prof, day)
+			acct.Fraud = true
+			acct.PrimaryVertical = prof.Vertical
+			acct.StolenPayment = false
+			det := detectability(prof)
+			det.Blend = 0.5 // sudden behavior change is itself a signal
+			s.pipeline.Enroll(acct.ID, det, simclock.StampAt(day, s.arrRNG.Float64()))
+			s.res.Compromises++
+			break
+		}
+	}
+}
+
+// serveQueries runs the day's query volume through the auction and click
+// model.
+func (s *Sim) serveQueries(day simclock.Day) {
+	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
+	for i := 0; i < s.cfg.QueriesPerDay; i++ {
+		q := s.qgen.Next()
+		s.eligibleBuf = s.p.Index().EligibleAppend(s.eligibleBuf[:0], q.Vertical, q.Country, q.KeywordID, q.Cluster, q.Form, alive)
+		eligible := s.eligibleBuf
+		if len(eligible) == 0 {
+			continue
+		}
+		res := auction.RunInto(s.cfg.Auction, eligible, q.Form, &s.auctionScr)
+		if len(res.Placements) == 0 {
+			continue
+		}
+		s.res.Auctions++
+
+		// Ground-truth fraud presence per page: an ad competes with fraud
+		// when another shown ad belongs to a fraudulent account.
+		fraudShown := 0
+		for _, pl := range res.Placements {
+			if s.p.MustAccount(pl.Ref.Ad.Account).Fraud {
+				fraudShown++
+			}
+		}
+
+		s.clickBuf = s.model.SimulateInto(s.clickRNG, res.Placements, s.clickBuf)
+		clicked := s.clickBuf
+		ci := 0
+		for pi, pl := range res.Placements {
+			acct := s.p.MustAccount(pl.Ref.Ad.Account)
+			isFraud := acct.Fraud
+			fraudComp := fraudShown > 0
+			if isFraud {
+				fraudComp = fraudShown > 1
+			}
+			wasClicked := ci < len(clicked) && clicked[ci] == pi
+			price := 0.0
+			if wasClicked {
+				ci++
+				price = pl.Price
+				s.p.Bill(acct.ID, price)
+				s.res.Clicks++
+				s.res.Spend += price
+				if isFraud {
+					s.res.FraudClicks++
+					s.res.FraudSpend += price
+				}
+			}
+			s.p.CountImpression(acct.ID)
+			s.res.Impressions++
+			s.col.Impression(day, acct.ID, isFraud, verticals.Index(pl.Ref.Ad.Vertical),
+				q.Country, pl.Position, pl.Ref.Bid.Match, fraudComp, wasClicked, price)
+		}
+	}
+	s.res.RevenueLost = s.p.Ledger().TotalLost()
+}

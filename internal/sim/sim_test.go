@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// tinyConfig is a fast configuration for integration tests: ~30s of work
+// compressed to a couple of seconds.
+func tinyConfig(seed uint64) Config {
+	cfg := SmallConfig()
+	cfg.Seed = seed
+	cfg.Days = 120
+	cfg.QueriesPerDay = 800
+	cfg.RegistrationsPerDay = 10
+	cfg.InitialLegit = 250
+	return cfg
+}
+
+// run memoizes one tiny simulation across tests in this package.
+var tinyRun = struct {
+	res *Result
+}{}
+
+func tinyResult(t *testing.T) *Result {
+	t.Helper()
+	if tinyRun.res == nil {
+		tinyRun.res = New(tinyConfig(7)).Run()
+	}
+	return tinyRun.res
+}
+
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two extra sims")
+	}
+	cfg := tinyConfig(99)
+	cfg.Days = 60
+	a := New(cfg).Run()
+	b := New(cfg).Run()
+	if a.Registrations != b.Registrations || a.Clicks != b.Clicks ||
+		a.Impressions != b.Impressions || a.Spend != b.Spend ||
+		a.FraudClicks != b.FraudClicks {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", summary(a), summary(b))
+	}
+	// And a different seed must diverge.
+	cfg.Seed = 100
+	c := New(cfg).Run()
+	if c.Clicks == a.Clicks && c.Impressions == a.Impressions && c.Spend == a.Spend {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func summary(r *Result) map[string]int64 {
+	return map[string]int64{
+		"regs": int64(r.Registrations), "clicks": r.Clicks, "impr": r.Impressions,
+	}
+}
+
+func TestBasicVolume(t *testing.T) {
+	res := tinyResult(t)
+	if res.Registrations == 0 || res.Auctions == 0 || res.Clicks == 0 {
+		t.Fatalf("empty economy: %+v", res)
+	}
+	if res.FraudClicks == 0 {
+		t.Fatal("no fraud clicks at all")
+	}
+	if res.Impressions < res.Clicks {
+		t.Fatal("more clicks than impressions")
+	}
+	frac := float64(res.FraudRegistrations) / float64(res.Registrations)
+	if frac < 0.25 || frac > 0.60 {
+		t.Fatalf("fraud registration share %v outside configured ramp", frac)
+	}
+}
+
+func TestLedgerConsistency(t *testing.T) {
+	res := tinyResult(t)
+	l := res.Platform.Ledger()
+	// Platform-wide billed totals must equal the sum of account spends
+	// and the result counter.
+	var acctSpend float64
+	var acctClicks, acctImpr int64
+	for _, a := range res.Platform.Accounts() {
+		acctSpend += a.Spend
+		acctClicks += a.Clicks
+		acctImpr += a.Impressions
+	}
+	if !close(acctSpend, l.TotalBilled()) || !close(acctSpend, res.Spend) {
+		t.Fatalf("spend mismatch: accounts=%v ledger=%v result=%v", acctSpend, l.TotalBilled(), res.Spend)
+	}
+	if acctClicks != res.Clicks {
+		t.Fatalf("click mismatch: accounts=%d result=%d", acctClicks, res.Clicks)
+	}
+	if acctImpr != res.Impressions {
+		t.Fatalf("impression mismatch: accounts=%d result=%d", acctImpr, res.Impressions)
+	}
+	if l.TotalLost() > l.TotalBilled() {
+		t.Fatal("lost more than billed")
+	}
+	if l.TotalLost() != res.RevenueLost {
+		t.Fatal("revenue-lost counter mismatch")
+	}
+}
+
+func TestCollectorAgreesWithPlatform(t *testing.T) {
+	res := tinyResult(t)
+	// Weekly aggregates summed over all accounts must reproduce the
+	// platform totals.
+	var impr, clicks int64
+	var spend float64
+	for _, a := range res.Platform.Accounts() {
+		agg := res.Collector.Agg(a.ID)
+		if agg == nil {
+			continue
+		}
+		for _, w := range agg.Weeks {
+			impr += w.Impressions
+			clicks += w.Clicks
+			spend += w.Spend
+		}
+	}
+	if impr != res.Impressions || clicks != res.Clicks || !close(spend, res.Spend) {
+		t.Fatalf("collector totals (%d/%d/%v) != result (%d/%d/%v)",
+			impr, clicks, spend, res.Impressions, res.Clicks, res.Spend)
+	}
+}
+
+func TestDetectionRecordsMatchAccountStates(t *testing.T) {
+	res := tinyResult(t)
+	for _, rec := range res.Collector.Detections() {
+		a := res.Platform.MustAccount(rec.Account)
+		if a.Status != platform.StatusShutdown && a.Status != platform.StatusRejected {
+			t.Fatalf("detection record for %s account %d", a.Status, a.ID)
+		}
+	}
+	// Every shutdown/rejected account must have a detection record.
+	for _, a := range res.Platform.Accounts() {
+		if a.Status == platform.StatusShutdown || a.Status == platform.StatusRejected {
+			if _, ok := res.Collector.DetectedAt(a.ID); !ok {
+				t.Fatalf("account %d %s without detection record", a.ID, a.Status)
+			}
+		}
+	}
+}
+
+func TestDetectionTimesAfterCreation(t *testing.T) {
+	res := tinyResult(t)
+	for _, a := range res.Platform.Accounts() {
+		if at, ok := res.Collector.DetectedAt(a.ID); ok {
+			if at < a.Created {
+				t.Fatalf("account %d detected (%v) before creation (%v)", a.ID, at, a.Created)
+			}
+		}
+	}
+}
+
+func TestFraudLabelsMostlyCorrect(t *testing.T) {
+	res := tinyResult(t)
+	study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+	var truePos, falsePos, labelled int
+	for _, a := range res.Platform.Accounts() {
+		if study.IsFraudulent(a.ID) {
+			labelled++
+			if a.Fraud {
+				truePos++
+			} else {
+				falsePos++
+			}
+		}
+	}
+	if labelled == 0 {
+		t.Fatal("nothing labelled")
+	}
+	// "accounts that are entirely shutdown are overwhelmingly fraudulent,
+	// with the rate of 'friendly fire' being rather low" (§3.2).
+	if float64(falsePos)/float64(labelled) > 0.02 {
+		t.Fatalf("friendly fire %d of %d labels", falsePos, labelled)
+	}
+}
+
+func TestFraudLifetimesShort(t *testing.T) {
+	res := tinyResult(t)
+	study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+	lts := study.Lifetimes(simclock.Window{Start: 0, End: 90}, false)
+	if len(lts) < 50 {
+		t.Fatalf("too few detected fraud accounts: %d", len(lts))
+	}
+	med := stats.Median(lts)
+	if med > 3 {
+		t.Fatalf("median fraud lifetime %v days — detection too slow", med)
+	}
+}
+
+func TestImpressionRatesFraudHigher(t *testing.T) {
+	res := tinyResult(t)
+	study := core.NewStudy(res.Platform, res.Collector, res.Config.Days)
+	win := res.Collector.Windows()[0]
+	subs := study.BuildSubsets(win, 0, 500, stats.NewRNG(5))
+	rate := func(id platform.AccountID) float64 {
+		return study.ImpressionRate(id, win.Window, 0)
+	}
+	fr := subs.FWithClicks.ECDF(rate)
+	nf := subs.NFWithClicks.ECDF(rate)
+	if fr.N() < 150 || nf.N() < 150 {
+		t.Skipf("underpowered at tiny scale (n=%d/%d); the report harness checks this at full scale", fr.N(), nf.N())
+	}
+	if fr.Median() <= nf.Median() {
+		t.Fatalf("fraud impression rate (%v) not above non-fraud (%v) — Figure 5 shape lost",
+			fr.Median(), nf.Median())
+	}
+}
+
+func TestRejectedAccountsNeverServe(t *testing.T) {
+	res := tinyResult(t)
+	for _, a := range res.Platform.Accounts() {
+		if a.Status == platform.StatusRejected && (a.Impressions > 0 || len(a.Ads) > 0) {
+			t.Fatalf("rejected account %d served %d impressions", a.ID, a.Impressions)
+		}
+	}
+}
+
+func TestShutdownStopsActivity(t *testing.T) {
+	res := tinyResult(t)
+	// No account's weekly activity may extend past its shutdown week.
+	for _, a := range res.Platform.Accounts() {
+		if a.Status != platform.StatusShutdown {
+			continue
+		}
+		agg := res.Collector.Agg(a.ID)
+		if agg == nil {
+			continue
+		}
+		shutWeek := int32(a.ShutdownAt.Day().Week())
+		for _, w := range agg.Weeks {
+			if w.Week > shutWeek {
+				t.Fatalf("account %d active in week %d after shutdown week %d", a.ID, w.Week, shutWeek)
+			}
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra sim")
+	}
+	cfg := tinyConfig(3)
+	cfg.Days = 61
+	called := 0
+	cfg.Progress = func(string) { called++ }
+	New(cfg).Run()
+	if called != 2 {
+		t.Fatalf("progress called %d times, want 2", called)
+	}
+}
+
+func TestShutdownsByStagePopulated(t *testing.T) {
+	res := tinyResult(t)
+	total := 0
+	for _, n := range res.ShutdownsByStage {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no shutdowns recorded by stage")
+	}
+	if res.ShutdownsByStage[dataset.StageScreening] == 0 {
+		t.Fatal("screening never rejected anyone")
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+abs(a)+abs(b))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestLegitClosureKeepsEcosystemBounded(t *testing.T) {
+	res := tinyResult(t)
+	closed := 0
+	for _, a := range res.Platform.Accounts() {
+		if a.Status == platform.StatusClosed {
+			closed++
+			if a.Fraud {
+				t.Fatalf("ground-truth fraud account %d closed voluntarily", a.ID)
+			}
+			if _, ok := res.Collector.DetectedAt(a.ID); ok {
+				t.Fatalf("closed account %d has a detection record", a.ID)
+			}
+		}
+	}
+	if closed == 0 {
+		t.Fatal("no accounts closed over 120 days (initial population includes old accounts)")
+	}
+}
+
+func TestCompromisesHappenAndGetCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra sim")
+	}
+	cfg := tinyConfig(13)
+	cfg.CompromisesPerDay = 0.5
+	res := New(cfg).Run()
+	if res.Compromises == 0 {
+		t.Fatal("no compromises at 0.5/day over 120 days")
+	}
+	// Hijacked accounts are ground-truth fraud with Generation 0 and a
+	// pre-fraud history; most should be caught by the horizon.
+	caught := 0
+	for _, a := range res.Platform.Accounts() {
+		if !a.Fraud || a.StolenPayment || a.Created >= 0 {
+			// Compromised accounts in this config are mostly seeded
+			// legit accounts (created < 0) flipped later; registered
+			// fraud all use this path with StolenPayment sometimes, so
+			// filter loosely and just count detections below.
+			continue
+		}
+		if _, ok := res.Collector.DetectedAt(a.ID); ok {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no compromised account was ever detected")
+	}
+}

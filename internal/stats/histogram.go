@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over float64 observations. Bins may be
+// linear or logarithmic depending on the constructor. Out-of-range
+// observations are counted in the underflow/overflow buckets.
+type Histogram struct {
+	edges     []float64 // len = bins+1, ascending
+	counts    []uint64  // len = bins
+	underflow uint64
+	overflow  uint64
+	total     uint64
+	log       bool
+}
+
+// NewLinearHistogram returns a histogram with `bins` equal-width bins over
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewLinearHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic("stats: invalid linear histogram parameters")
+	}
+	edges := make([]float64, bins+1)
+	w := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	return &Histogram{edges: edges, counts: make([]uint64, bins)}
+}
+
+// NewLogHistogram returns a histogram with `bins` log-spaced bins over
+// [lo, hi), lo > 0. Log-spaced bins match the log-x axes used throughout
+// the paper's figures (impression rates, bids, CPCs).
+func NewLogHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) || lo <= 0 {
+		panic("stats: invalid log histogram parameters")
+	}
+	edges := make([]float64, bins+1)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	w := (lhi - llo) / float64(bins)
+	for i := range edges {
+		edges[i] = math.Exp(llo + float64(i)*w)
+	}
+	return &Histogram{edges: edges, counts: make([]uint64, bins), log: true}
+}
+
+// Observe adds a single observation.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	if x < h.edges[0] {
+		h.underflow++
+		return
+	}
+	if x >= h.edges[len(h.edges)-1] {
+		h.overflow++
+		return
+	}
+	// Binary search for the bin.
+	lo, hi := 0, len(h.counts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x >= h.edges[mid+1] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+}
+
+// Count returns the total number of observations, including under/overflow.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Bin returns the [lo, hi) edges and count of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64, count uint64) {
+	return h.edges[i], h.edges[i+1], h.counts[i]
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Render draws a simple ASCII bar chart of the histogram, width characters
+// wide, for human inspection in the experiment reports.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max uint64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		barLen := 0
+		if max > 0 {
+			barLen = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&b, "%12.4g %s %d\n", h.edges[i], strings.Repeat("#", barLen), c)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "   underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "    overflow %d\n", h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for i := 0; i < h.Bins(); i++ {
+		lo, hi, c := h.Bin(i)
+		if c != 1 {
+			t.Fatalf("bin %d [%v,%v) count %d", i, lo, hi, c)
+		}
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 5)
+	h.Observe(-1)
+	h.Observe(10) // upper edge is exclusive: overflow
+	h.Observe(11)
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var inBins uint64
+	for i := 0; i < h.Bins(); i++ {
+		_, _, c := h.Bin(i)
+		inBins += c
+	}
+	if inBins != 0 {
+		t.Fatalf("in-bin count %d, want 0", inBins)
+	}
+	r := h.Render(20)
+	if !strings.Contains(r, "underflow 1") || !strings.Contains(r, "overflow 2") {
+		t.Fatalf("render missing flows:\n%s", r)
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	// Bins: [1,10), [10,100), [100,1000).
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	for i := 0; i < 3; i++ {
+		if _, _, c := h.Bin(i); c != 1 {
+			t.Fatalf("log bin %d count %d", i, c)
+		}
+	}
+	lo, hi, _ := h.Bin(1)
+	if lo < 9.99 || lo > 10.01 || hi < 99.9 || hi > 100.1 {
+		t.Fatalf("log bin 1 edges [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramBoundaryBelongsToUpperBin(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
+	h.Observe(3) // exactly on the edge between bin 2 and bin 3
+	if _, _, c := h.Bin(3); c != 1 {
+		t.Fatal("edge observation not in upper bin")
+	}
+	if _, _, c := h.Bin(2); c != 0 {
+		t.Fatal("edge observation leaked into lower bin")
+	}
+}
+
+func TestHistogramInvalidParamsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewLinearHistogram(0, 10, 0) },
+		func() { NewLinearHistogram(5, 5, 3) },
+		func() { NewLogHistogram(0, 10, 3) },
+		func() { NewLogHistogram(10, 1, 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

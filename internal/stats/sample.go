@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// SampleUniform returns k indices drawn uniformly without replacement from
+// [0, n). If k >= n it returns all n indices. The result is in random order.
+func SampleUniform(rng *RNG, n, k int) []int {
+	if k >= n {
+		return rng.Perm(n)
+	}
+	// Partial Fisher-Yates over an index map keeps this O(k) in space.
+	chosen := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := chosen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := chosen[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		chosen[j] = vi
+	}
+	return out
+}
+
+// weightedItem pairs an index with its exponential sort key for A-ES
+// weighted reservoir sampling.
+type weightedItem struct {
+	idx int
+	key float64
+}
+
+type weightedHeap []weightedItem
+
+func (h weightedHeap) Len() int            { return len(h) }
+func (h weightedHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h weightedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *weightedHeap) Push(x interface{}) { *h = append(*h, x.(weightedItem)) }
+func (h *weightedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SampleWeighted returns up to k indices drawn without replacement from
+// [0, len(weights)) with inclusion probability proportional to weight
+// (Efraimidis–Spirakis A-ES). Zero-weight items are never selected. This is
+// the primitive behind the paper's spend-weighted and volume-weighted
+// advertiser subsets (§3.3.1).
+func SampleWeighted(rng *RNG, weights []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make(weightedHeap, 0, k)
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		// key = U^(1/w); keep the k largest keys. Use log for stability:
+		// log key = log(U)/w, ordering is preserved.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		key := math.Log(u) / w
+		if len(h) < k {
+			heap.Push(&h, weightedItem{idx: i, key: key})
+		} else if key > h[0].key {
+			h[0] = weightedItem{idx: i, key: key}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int, len(h))
+	for i, it := range h {
+		out[i] = it.idx
+	}
+	return out
+}
+
+// MatchNearest selects, for each target value, the index of the candidate
+// whose value is closest to it, without reusing candidates. Both inputs may
+// be unsorted. Matching is greedy over targets in ascending value order
+// using a two-pointer sweep, which is optimal for one-dimensional matching
+// under absolute-difference cost when candidates outnumber targets.
+//
+// The returned slice is parallel to targets; an entry is -1 when the
+// candidate pool is exhausted. This implements the paper's 'NF spend
+// match', 'NF volume match' and 'NF rate match' subset construction
+// (§3.3.2): non-fraudulent advertisers chosen to minimize the difference
+// between their metric and a matched fraudulent advertiser's metric.
+func MatchNearest(targets, candidates []float64) []int {
+	type iv struct {
+		idx int
+		v   float64
+	}
+	ts := make([]iv, len(targets))
+	for i, v := range targets {
+		ts[i] = iv{i, v}
+	}
+	cs := make([]iv, len(candidates))
+	for i, v := range candidates {
+		cs[i] = iv{i, v}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].v < ts[j].v })
+	sort.Slice(cs, func(i, j int) bool { return cs[i].v < cs[j].v })
+
+	out := make([]int, len(targets))
+	for i := range out {
+		out[i] = -1
+	}
+	used := make([]bool, len(cs))
+	lo := 0
+	for _, t := range ts {
+		// Advance lo past used candidates.
+		for lo < len(cs) && used[lo] {
+			lo++
+		}
+		if lo >= len(cs) {
+			break
+		}
+		// Binary search for the insertion point, then scan outwards for the
+		// nearest unused candidate.
+		j := sort.Search(len(cs), func(k int) bool { return cs[k].v >= t.v })
+		best := -1
+		bestD := math.Inf(1)
+		for l := j; l < len(cs); l++ {
+			if used[l] {
+				continue
+			}
+			d := math.Abs(cs[l].v - t.v)
+			if d < bestD {
+				best, bestD = l, d
+			}
+			break // sorted: the first unused at or above t.v is the closest above
+		}
+		for l := j - 1; l >= lo; l-- {
+			if used[l] {
+				continue
+			}
+			d := math.Abs(cs[l].v - t.v)
+			if d < bestD {
+				best, bestD = l, d
+			}
+			break // first unused below is the closest below
+		}
+		if best >= 0 {
+			used[best] = true
+			out[t.idx] = cs[best].idx
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleUniformDistinct(t *testing.T) {
+	rng := NewRNG(1)
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%200) + 1
+		k := int(k8 % 220)
+		got := SampleUniform(rng, n, k)
+		wantLen := k
+		if k >= n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleUniformUnbiased(t *testing.T) {
+	rng := NewRNG(2)
+	counts := make([]int, 10)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleUniform(rng, 10, 3) {
+			counts[v]++
+		}
+	}
+	want := trials * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("index %d drawn %d times, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestSampleWeightedRespectsWeights(t *testing.T) {
+	rng := NewRNG(3)
+	w := []float64{1, 0, 10}
+	counts := make([]int, 3)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		got := SampleWeighted(rng, w, 1)
+		if len(got) != 1 {
+			t.Fatalf("k=1 returned %d items", len(got))
+		}
+		counts[got[0]]++
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-weight item selected")
+	}
+	if counts[2] < counts[0]*5 {
+		t.Fatalf("weight-10 item not dominant: %v", counts)
+	}
+}
+
+func TestSampleWeightedWithoutReplacement(t *testing.T) {
+	rng := NewRNG(4)
+	w := []float64{1, 2, 3, 4, 5}
+	got := SampleWeighted(rng, w, 3)
+	if len(got) != 3 {
+		t.Fatalf("len %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWeightedAllZeroOrK(t *testing.T) {
+	rng := NewRNG(5)
+	if got := SampleWeighted(rng, []float64{0, 0}, 3); len(got) != 0 {
+		t.Fatalf("all-zero weights returned %v", got)
+	}
+	if got := SampleWeighted(rng, []float64{1, 1}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := SampleWeighted(rng, []float64{1, 1}, 5); len(got) != 2 {
+		t.Fatalf("k>n returned %d items", len(got))
+	}
+}
+
+func TestMatchNearestExact(t *testing.T) {
+	targets := []float64{5, 1, 9}
+	cands := []float64{1, 5, 9, 100}
+	m := MatchNearest(targets, cands)
+	if cands[m[0]] != 5 || cands[m[1]] != 1 || cands[m[2]] != 9 {
+		t.Fatalf("exact matching failed: %v", m)
+	}
+}
+
+func TestMatchNearestNoReuse(t *testing.T) {
+	targets := []float64{10, 10, 10}
+	cands := []float64{10, 11, 12}
+	m := MatchNearest(targets, cands)
+	seen := map[int]bool{}
+	for _, ci := range m {
+		if ci < 0 {
+			t.Fatalf("unmatched target with candidates remaining: %v", m)
+		}
+		if seen[ci] {
+			t.Fatalf("candidate reused: %v", m)
+		}
+		seen[ci] = true
+	}
+}
+
+func TestMatchNearestExhaustion(t *testing.T) {
+	targets := []float64{1, 2, 3}
+	cands := []float64{2}
+	m := MatchNearest(targets, cands)
+	matched := 0
+	for _, ci := range m {
+		if ci >= 0 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("want exactly 1 match, got %d (%v)", matched, m)
+	}
+}
+
+func TestMatchNearestEmpty(t *testing.T) {
+	if m := MatchNearest(nil, []float64{1}); len(m) != 0 {
+		t.Fatalf("nil targets: %v", m)
+	}
+	m := MatchNearest([]float64{1}, nil)
+	if len(m) != 1 || m[0] != -1 {
+		t.Fatalf("nil candidates: %v", m)
+	}
+}
+
+func TestMatchNearestQualityProperty(t *testing.T) {
+	// With candidates ⊇ targets (as multisets), every target must match a
+	// candidate of identical value.
+	rng := NewRNG(6)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(50)
+		targets := make([]float64, n)
+		cands := make([]float64, 0, n*2)
+		for i := range targets {
+			targets[i] = float64(rng.Intn(20))
+			cands = append(cands, targets[i])
+		}
+		for i := 0; i < n; i++ {
+			cands = append(cands, float64(rng.Intn(20)))
+		}
+		m := MatchNearest(targets, cands)
+		for ti, ci := range m {
+			if ci < 0 || cands[ci] != targets[ti] {
+				t.Fatalf("trial %d: target %v matched %v", trial, targets[ti], cands[ci])
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the nearest-rank q-quantile of xs without mutating it.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	i := int(math.Ceil(q*float64(len(cp)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return cp[i]
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// TopShare returns the fraction of Sum(xs) contributed by the top `frac`
+// proportion of entries (by value, descending). For example
+// TopShare(spend, 0.10) answers "what share of all spend do the top 10% of
+// advertisers account for?" — the concentration statistic behind Figure 4.
+func TopShare(xs []float64, frac float64) float64 {
+	if len(xs) == 0 || frac <= 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	total := Sum(cp)
+	if total <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(cp))))
+	if k > len(cp) {
+		k = len(cp)
+	}
+	return Sum(cp[:k]) / total
+}
+
+// CumulativeShare returns the cumulative share of total contributed by
+// advertisers in decreasing value order, evaluated at each of the given
+// advertiser-proportion points (values in (0, 1]). This renders the curves
+// of Figure 4 directly.
+func CumulativeShare(xs []float64, props []float64) []Point {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	total := Sum(cp)
+	out := make([]Point, 0, len(props))
+	run := 0.0
+	next := 0
+	for i, v := range cp {
+		run += v
+		p := float64(i+1) / float64(len(cp))
+		for next < len(props) && p >= props[next] {
+			share := 0.0
+			if total > 0 {
+				share = run / total
+			}
+			out = append(out, Point{X: props[next], Y: share})
+			next++
+		}
+	}
+	for next < len(props) {
+		share := 0.0
+		if total > 0 {
+			share = 1.0
+		}
+		out = append(out, Point{X: props[next], Y: share})
+		next++
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of xs (0 = perfectly equal, 1 =
+// maximally concentrated). Negative values are not supported.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := make([]float64, n)
+	copy(cp, xs)
+	sort.Float64s(cp)
+	var cum, weighted float64
+	for i, x := range cp {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// xs and ys, or 0 when undefined. It panics if the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
