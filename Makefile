@@ -1,0 +1,42 @@
+# Developer entry points. `make verify` is the pre-merge gate; everything
+# else is a convenience wrapper around `go test`.
+
+GO ?= go
+
+.PHONY: build vet test race verify golden bench fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: static checks, build, and the whole
+# suite (goldens, determinism, invariants, smoke tests) under the race
+# detector.
+verify: vet build race
+
+# golden regenerates every golden fixture (sim digests, per-experiment
+# report outputs, the façade quickstart). Only the packages that define
+# the -update-golden flag are targeted; see internal/testutil/README.md
+# for when regeneration is legitimate.
+golden:
+	$(GO) test . ./internal/sim ./internal/report -run 'Golden' -update-golden
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# fuzz-smoke runs each fuzz target briefly — enough to exercise the
+# corpus plus a short exploration burst.
+fuzz-smoke:
+	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzCanonicalToken -fuzztime 5s
+	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzTokenize -fuzztime 5s
+	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzFoldLookalikes -fuzztime 5s
+	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzObfuscatePhone -fuzztime 5s
+	$(GO) test ./internal/queries -run '^$$' -fuzz FuzzGeneratorSeed -fuzztime 5s

@@ -13,6 +13,12 @@ import (
 	"repro/internal/verticals"
 )
 
+// ablationSmoke shrinks ablationConfig to smoke-test scale. Set only by
+// the benchmark smoke gate (smoke_bench_test.go), which runs every
+// benchmark body once to prove it still works; real `-bench` runs never
+// see it because the gate skips itself when benchmarks are requested.
+var ablationSmoke bool
+
 // ablationConfig is the shared fast configuration: one year, reduced
 // volumes, Y1Q2 fully inside the horizon.
 func ablationConfig() sim.Config {
@@ -22,6 +28,12 @@ func ablationConfig() sim.Config {
 	cfg.RegistrationsPerDay = 14
 	cfg.InitialLegit = 500
 	cfg.Seed = 17
+	if ablationSmoke {
+		cfg.Days = 60
+		cfg.QueriesPerDay = 500
+		cfg.RegistrationsPerDay = 8
+		cfg.InitialLegit = 200
+	}
 	return cfg
 }
 

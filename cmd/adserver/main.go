@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	adserver [-addr :8406] [-scale small|medium] [-seed N]
+//	adserver [-addr :8406] [-scale small|medium] [-seed N] [-days N]
 //
 // Then:
 //
@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -22,13 +23,35 @@ import (
 	"repro/internal/adserver"
 	"repro/internal/auction"
 	"repro/internal/sim"
+	"repro/internal/simclock"
 )
 
 func main() {
-	addr := flag.String("addr", ":8406", "listen address")
-	scale := flag.String("scale", "small", "bootstrap simulation scale: small or medium")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	flag.Parse()
+	srv, addr, err := setup(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	log.Printf("serving %s on %s", srv, addr)
+	if err := http.ListenAndServe(addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// setup parses flags and bootstraps the frozen platform, returning the
+// ready-to-serve handler without binding a socket (tests mount it on
+// httptest instead).
+func setup(args []string, stderr io.Writer) (*adserver.Server, string, error) {
+	fs := flag.NewFlagSet("adserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8406", "listen address")
+	scale := fs.String("scale", "small", "bootstrap simulation scale: small or medium")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 0, "override bootstrap simulation days (0 = scale default)")
+	queries := fs.Int("queries", 0, "override bootstrap queries per day (0 = scale default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
 
 	var cfg sim.Config
 	switch *scale {
@@ -37,21 +60,22 @@ func main() {
 	case "medium":
 		cfg = sim.MediumConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "adserver: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return nil, "", fmt.Errorf("adserver: unknown scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	if *days > 0 {
+		cfg.Days = simclock.Day(*days)
+	}
+	if *queries > 0 {
+		cfg.QueriesPerDay = *queries
+	}
 	cfg.FullCreatives = true // serve real ad copy
 
-	log.Printf("bootstrapping advertiser population (%s scale)...", *scale)
+	fmt.Fprintf(stderr, "bootstrapping advertiser population (%s scale)...\n", *scale)
 	s := sim.New(cfg)
 	res := s.Run()
-	log.Printf("simulated %d accounts, %d live ads in %s",
+	fmt.Fprintf(stderr, "simulated %d accounts, %d live ads in %s\n",
 		res.Platform.NumAccounts(), res.Platform.LiveAds(), res.Elapsed.Round(1e7))
 
-	srv := adserver.New(res.Platform, s.Queries(), auction.DefaultConfig(), *seed)
-	log.Printf("serving %s on %s", srv, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
-	}
+	return adserver.New(res.Platform, s.Queries(), auction.DefaultConfig(), *seed), *addr, nil
 }

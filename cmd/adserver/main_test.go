@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSetupServesSearchAndStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstraps a simulation")
+	}
+	var errw strings.Builder
+	srv, addr, err := setup([]string{
+		"-addr", ":0", "-scale", "small", "-seed", "7",
+		"-days", "60", "-queries", "500",
+	}, &errw)
+	if err != nil {
+		t.Fatalf("setup: %v (stderr: %s)", err, errw.String())
+	}
+	if addr != ":0" {
+		t.Errorf("addr = %q", addr)
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string, into interface{}) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+
+	var health map[string]string
+	get("/healthz", &health)
+	if health["status"] != "ok" {
+		t.Errorf("health: %v", health)
+	}
+
+	var search struct {
+		Query   string `json:"query"`
+		Country string `json:"country"`
+	}
+	get("/search?q=free+download&country=US", &search)
+	if search.Query != "free download" || search.Country != "US" {
+		t.Errorf("search echo: %+v", search)
+	}
+
+	var stats struct {
+		Served   int64 `json:"served"`
+		NoMatch  int64 `json:"noMatch"`
+		Accounts int   `json:"accounts"`
+	}
+	get("/stats", &stats)
+	if stats.Accounts == 0 {
+		t.Error("stats report zero accounts")
+	}
+	if stats.Served+stats.NoMatch == 0 {
+		t.Error("search request not counted")
+	}
+
+	// Missing q is a client error.
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q: got %s, want 400", resp.Status)
+	}
+}
+
+func TestSetupRejectsUnknownScale(t *testing.T) {
+	var errw strings.Builder
+	if _, _, err := setup([]string{"-scale", "galactic"}, &errw); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

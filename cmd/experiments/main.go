@@ -5,13 +5,15 @@
 // Usage:
 //
 //	experiments [-scale small|medium|full] [-seed N] [-subset N]
-//	            [-run id[,id...]] [-list] [-v]
+//	            [-days N] [-queries N] [-regs F]
+//	            [-run id[,id...]] [-list] [-v] [-md FILE] [-svg DIR]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,24 +21,40 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/simclock"
 )
 
 func main() {
-	scale := flag.String("scale", "medium", "simulation scale: small, medium, or full")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	subset := flag.Int("subset", 3000, "target subset size (the paper uses ~10,000)")
-	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	verbose := flag.Bool("v", false, "print simulation progress")
-	md := flag.String("md", "", "also write results as a markdown report to this file")
-	svg := flag.String("svg", "", "also write rendered figures as SVG files into this directory")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "medium", "simulation scale: small, medium, or full")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	subset := fs.Int("subset", 3000, "target subset size (the paper uses ~10,000)")
+	days := fs.Int("days", 0, "override simulated days (0 = scale default)")
+	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
+	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	verbose := fs.Bool("v", false, "print simulation progress")
+	md := fs.String("md", "", "also write results as a markdown report to this file")
+	svg := fs.String("svg", "", "also write rendered figures as SVG files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, e := range report.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	var cfg sim.Config
@@ -48,23 +66,31 @@ func main() {
 	case "full":
 		cfg = sim.DefaultConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return fmt.Errorf("experiments: unknown scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	if *days > 0 {
+		cfg.Days = simclock.Day(*days)
+	}
+	if *queries > 0 {
+		cfg.QueriesPerDay = *queries
+	}
+	if *regs > 0 {
+		cfg.RegistrationsPerDay = *regs
+	}
 	if *verbose {
-		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
-	fmt.Fprintf(os.Stderr, "simulating %d days at %d queries/day...\n", cfg.Days, cfg.QueriesPerDay)
+	fmt.Fprintf(stderr, "simulating %d days at %d queries/day...\n", cfg.Days, cfg.QueriesPerDay)
 	res := sim.New(cfg).Run()
-	fmt.Fprintf(os.Stderr, "done in %s; building subsets...\n", res.Elapsed.Round(1e7))
+	fmt.Fprintf(stderr, "done in %s; building subsets...\n", res.Elapsed.Round(1e7))
 	env := report.NewEnv(res, *subset, *seed^0x5eed)
 
 	var wanted map[string]bool
-	if *run != "" {
+	if *runIDs != "" {
 		wanted = map[string]bool{}
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			wanted[strings.TrimSpace(id)] = true
 		}
 	}
@@ -74,28 +100,26 @@ func main() {
 			continue
 		}
 		out := e.Run(env)
-		fmt.Println(out.String())
+		fmt.Fprintln(stdout, out.String())
 		outputs = append(outputs, out)
 	}
 	if len(outputs) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: nothing matched -run; use -list to see IDs")
-		os.Exit(1)
+		return fmt.Errorf("experiments: nothing matched -run; use -list to see IDs")
 	}
 	if *md != "" {
 		if err := writeMarkdown(*md, cfg, res, outputs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "markdown report written to %s\n", *md)
+		fmt.Fprintf(stderr, "markdown report written to %s\n", *md)
 	}
 	if *svg != "" {
 		n, err := writeSVGs(*svg, outputs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "%d SVG figures written to %s\n", n, *svg)
+		fmt.Fprintf(stderr, "%d SVG figures written to %s\n", n, *svg)
 	}
+	return nil
 }
 
 // writeSVGs dumps every rendered figure document to dir.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "table4", "fig17", "ext2"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	dir := t.TempDir()
+	var out, errw strings.Builder
+	err := run([]string{
+		"-scale", "small", "-seed", "7", "-subset", "500",
+		"-days", "120", "-queries", "800", "-regs", "10",
+		"-run", "fig2",
+		"-md", filepath.Join(dir, "report.md"),
+		"-svg", dir,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "== fig2") {
+		t.Errorf("output missing fig2 block:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "== fig1") {
+		t.Error("-run fig2 also ran fig1")
+	}
+	mdBytes, err := os.ReadFile(filepath.Join(dir, "report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mdBytes), "## fig2") {
+		t.Error("markdown report missing fig2 section")
+	}
+	svgBytes, err := os.ReadFile(filepath.Join(dir, "fig2.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svgBytes), "<svg") {
+		t.Error("fig2.svg is not an SVG document")
+	}
+}
+
+func TestRunRejectsUnknownScaleAndIDs(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &out, &errw); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

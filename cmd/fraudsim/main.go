@@ -21,19 +21,30 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "medium", "simulation scale: small, medium, or full")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	days := flag.Int("days", 0, "override simulated days (0 = scale default)")
-	queries := flag.Int("queries", 0, "override queries per day (0 = scale default)")
-	regs := flag.Float64("regs", 0, "override registrations per day (0 = scale default)")
-	verbose := flag.Bool("v", false, "print progress every 30 simulated days")
-	export := flag.String("export", "", "directory to write the three datasets as JSON lines")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parse args, simulate, print, export.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fraudsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "medium", "simulation scale: small, medium, or full")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 0, "override simulated days (0 = scale default)")
+	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
+	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
+	verbose := fs.Bool("v", false, "print progress every 30 simulated days")
+	export := fs.String("export", "", "directory to write the three datasets as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg, err := configFor(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	cfg.Seed = *seed
 	if *days > 0 {
@@ -46,19 +57,19 @@ func main() {
 		cfg.RegistrationsPerDay = *regs
 	}
 	if *verbose {
-		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
 	res := sim.New(cfg).Run()
-	printSummary(res)
+	printSummary(stdout, res)
 
 	if *export != "" {
 		if err := exportDatasets(*export, res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("datasets written to %s/{customers,activity,detections}.jsonl\n", *export)
+		fmt.Fprintf(stdout, "datasets written to %s/{customers,activity,detections}.jsonl\n", *export)
 	}
+	return nil
 }
 
 // exportDatasets writes the §3.1 data sources as JSON-lines files.
@@ -101,25 +112,25 @@ func configFor(scale string) (sim.Config, error) {
 	}
 }
 
-func printSummary(res *sim.Result) {
-	fmt.Printf("simulated %d days in %s\n", res.Config.Days, res.Elapsed.Round(1e7))
-	fmt.Printf("registrations        %10d (fraud: %d, %.1f%%)\n",
+func printSummary(w io.Writer, res *sim.Result) {
+	fmt.Fprintf(w, "simulated %d days in %s\n", res.Config.Days, res.Elapsed.Round(1e7))
+	fmt.Fprintf(w, "registrations        %10d (fraud: %d, %.1f%%)\n",
 		res.Registrations, res.FraudRegistrations,
 		100*float64(res.FraudRegistrations)/float64(maxI(res.Registrations, 1)))
-	fmt.Printf("auctions held        %10d\n", res.Auctions)
-	fmt.Printf("impressions served   %10d\n", res.Impressions)
-	fmt.Printf("clicks billed        %10d (fraud: %d, %.2f%%)\n",
+	fmt.Fprintf(w, "auctions held        %10d\n", res.Auctions)
+	fmt.Fprintf(w, "impressions served   %10d\n", res.Impressions)
+	fmt.Fprintf(w, "clicks billed        %10d (fraud: %d, %.2f%%)\n",
 		res.Clicks, res.FraudClicks, 100*float64(res.FraudClicks)/float64(maxI64(res.Clicks, 1)))
-	fmt.Printf("revenue (bid units)  %10.0f (fraud spend: %.0f)\n", res.Spend, res.FraudSpend)
-	fmt.Printf("revenue lost         %10.0f (uncollectable, stolen instruments)\n", res.RevenueLost)
-	fmt.Println("shutdowns by stage:")
+	fmt.Fprintf(w, "revenue (bid units)  %10.0f (fraud spend: %.0f)\n", res.Spend, res.FraudSpend)
+	fmt.Fprintf(w, "revenue lost         %10.0f (uncollectable, stolen instruments)\n", res.RevenueLost)
+	fmt.Fprintln(w, "shutdowns by stage:")
 	for _, st := range []dataset.DetectionStage{
 		dataset.StageScreening, dataset.StagePayment, dataset.StageRateAnomaly,
 		dataset.StageBlacklist, dataset.StageComplaint, dataset.StagePolicy,
 		dataset.StageManualReview,
 	} {
 		if n := res.ShutdownsByStage[st]; n > 0 {
-			fmt.Printf("  %-15s %8d\n", st, n)
+			fmt.Fprintf(w, "  %-15s %8d\n", st, n)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSummaryAndExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	dir := t.TempDir()
+	var out, errw strings.Builder
+	err := run([]string{
+		"-scale", "small", "-seed", "7",
+		"-days", "60", "-queries", "500", "-regs", "8",
+		"-export", dir,
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	for _, want := range []string{
+		"simulated 60 days", "registrations", "clicks billed", "shutdowns by stage:",
+		"datasets written to",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+	for _, name := range []string{"customers.jsonl", "activity.jsonl", "detections.jsonl"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("export %s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Errorf("export %s is empty", name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &out, &errw); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-nope"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/adcopy"
 	"repro/internal/auction"
@@ -16,6 +18,13 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	p := platform.New()
 
 	// Five advertisers in the downloads vertical. The last is our
@@ -41,20 +50,20 @@ func main() {
 			PrimaryVertical: verticals.Downloads,
 		})
 		if err := p.Approve(acct.ID); err != nil {
-			panic(err)
+			return err
 		}
 		names[acct.ID] = sp.name
 		ad, err := p.CreateAd(acct.ID, verticals.Downloads, market.US,
 			adcopy.Creative{DisplayURL: "www.example.com"}, sp.quality, simclock.StampAt(0, 0))
 		if err != nil {
-			panic(err)
+			return err
 		}
 		// Everyone bids on keyword 0 ("free download"), cluster 0.
 		err = p.AddBid(ad, platform.KeywordBid{
 			KeywordID: 0, Cluster: 0, Match: sp.match, MaxBid: sp.bid,
 		}, simclock.StampAt(0, 0))
 		if err != nil {
-			panic(err)
+			return err
 		}
 	}
 
@@ -62,23 +71,24 @@ func main() {
 	cfg := auction.DefaultConfig()
 
 	for _, form := range []platform.QueryForm{platform.FormBare, platform.FormExtended, platform.FormReordered} {
-		fmt.Printf("=== query form: %s ===\n", form)
+		fmt.Fprintf(w, "=== query form: %s ===\n", form)
 		eligible := p.Index().Eligible(verticals.Downloads, market.US, 0, 0, form, alive)
-		fmt.Printf("eligible bids: %d of %d\n", len(eligible), len(specs))
+		fmt.Fprintf(w, "eligible bids: %d of %d\n", len(eligible), len(specs))
 		res := auction.Run(cfg, eligible, form)
 		for _, pl := range res.Placements {
 			section := "sidebar "
 			if pl.Mainline {
 				section = "mainline"
 			}
-			fmt.Printf("  pos %d [%s] %-28s score=%.3f  bid=%.2f  pays=%.3f (GSP)\n",
+			fmt.Fprintf(w, "  pos %d [%s] %-28s score=%.3f  bid=%.2f  pays=%.3f (GSP)\n",
 				pl.Position, section, names[pl.Ref.Ad.Account],
 				pl.Score, pl.Ref.Bid.MaxBid, pl.Price)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Println("Note how the exact-match bids dominate the bare query, the")
-	fmt.Println("broad bid survives every form but ranks low, and each winner")
-	fmt.Println("pays only what was needed to beat the next candidate.")
+	fmt.Fprintln(w, "Note how the exact-match bids dominate the bare query, the")
+	fmt.Fprintln(w, "broad bid survives every form but ranks low, and each winner")
+	fmt.Fprintln(w, "pays only what was needed to beat the next candidate.")
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWalksAllQueryForms(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"=== query form: bare ===", "=== query form: extended ===",
+		"=== query form: reordered ===", "eligible bids:", "(GSP)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Exact-match bids are ineligible for non-bare forms, so the bare form
+	// must field the largest book.
+	if !strings.Contains(s, "eligible bids: 5 of 5") {
+		t.Errorf("bare query should see all five bids:\n%s", s)
+	}
+}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -24,6 +25,12 @@ func main() {
 
 	cfg := sim.SmallConfig()
 	cfg.Seed = 5
+	if err := run(os.Stdout, cfg, dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, cfg sim.Config, dir string) error {
 	res := sim.New(cfg).Run()
 
 	// Export.
@@ -34,37 +41,46 @@ func main() {
 		"activity.jsonl":   func(f *os.File) error { return res.Collector.ExportActivity(f) },
 		"detections.jsonl": func(f *os.File) error { return res.Collector.ExportDetections(f) },
 	}
-	for name, export := range paths {
+	names := make([]string, 0, len(paths))
+	for name := range paths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := export(f); err != nil {
-			log.Fatal(err)
+		if err := paths[name](f); err != nil {
+			f.Close()
+			return err
 		}
 		f.Close()
-		st, _ := os.Stat(filepath.Join(dir, name))
-		fmt.Printf("wrote %-18s %8d bytes\n", name, st.Size())
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %-18s %8d bytes\n", name, st.Size())
 	}
 
 	// Read back and recompute fraud lifetimes from the files only.
 	cf, err := os.Open(filepath.Join(dir, "customers.jsonl"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	customers, err := dataset.ReadCustomers(cf)
 	cf.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	df, err := os.Open(filepath.Join(dir, "detections.jsonl"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	detections, err := dataset.ReadDetections(df)
 	df.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	created := make(map[int32]float64, len(customers))
@@ -86,11 +102,12 @@ func main() {
 	}
 	sort.Float64s(lifetimes)
 	if len(lifetimes) == 0 {
-		log.Fatal("no detections in export")
+		return fmt.Errorf("no detections in export")
 	}
 	med := lifetimes[len(lifetimes)/2]
 	p90 := lifetimes[int(float64(len(lifetimes))*0.9)]
-	fmt.Printf("\nrecomputed from files: %d labeled-fraud accounts, lifetime median=%.2fd p90=%.1fd\n",
+	fmt.Fprintf(w, "\nrecomputed from files: %d labeled-fraud accounts, lifetime median=%.2fd p90=%.1fd\n",
 		len(lifetimes), med, p90)
-	fmt.Println("(compare with the fig2 experiment on the same seed)")
+	fmt.Fprintln(w, "(compare with the fig2 experiment on the same seed)")
+	return nil
 }

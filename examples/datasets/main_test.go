@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunExportsAndRecomputes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := sim.SmallConfig()
+	cfg.Seed = 5
+	cfg.Days = 120
+	cfg.QueriesPerDay = 800
+	cfg.RegistrationsPerDay = 10
+	cfg.InitialLegit = 250
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(&out, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"customers.jsonl", "activity.jsonl", "detections.jsonl"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("export %s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("export %s is empty", name)
+		}
+	}
+	if !strings.Contains(out.String(), "recomputed from files") {
+		t.Errorf("missing recomputation line:\n%s", out.String())
+	}
+}

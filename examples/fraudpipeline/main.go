@@ -5,6 +5,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/adcopy"
 	"repro/internal/dataset"
@@ -99,6 +101,10 @@ func runPipeline(cfg detection.Config, seed uint64) (*stats.ECDF, int) {
 }
 
 func main() {
+	run(os.Stdout)
+}
+
+func run(w io.Writer) {
 	fast := detection.DefaultConfig()
 
 	slow := fast
@@ -110,10 +116,10 @@ func main() {
 		cfg  detection.Config
 	}{{"baseline pipeline", fast}, {"swamped review queue", slow}} {
 		e, legitHit := runPipeline(c.cfg, 7)
-		fmt.Printf("%-22s fraud lifetimes: median=%5.2fd p90=%5.1fd (n=%d); friendly fire: %d\n",
+		fmt.Fprintf(w, "%-22s fraud lifetimes: median=%5.2fd p90=%5.1fd (n=%d); friendly fire: %d\n",
 			c.name, e.Median(), e.Quantile(0.9), e.N(), legitHit)
 	}
-	fmt.Println("\nSlower review directly stretches fraud lifetimes — the paper's")
-	fmt.Println("lifetime CDF (Figure 2) is, in this model, a property of the")
-	fmt.Println("pipeline's latency distribution, not of the fraudsters.")
+	fmt.Fprintln(w, "\nSlower review directly stretches fraud lifetimes — the paper's")
+	fmt.Fprintln(w, "lifetime CDF (Figure 2) is, in this model, a property of the")
+	fmt.Fprintln(w, "pipeline's latency distribution, not of the fraudsters.")
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/detection"
+)
+
+func TestRunComparesPipelineLatency(t *testing.T) {
+	var out strings.Builder
+	run(&out)
+	s := out.String()
+	for _, want := range []string{"baseline pipeline", "swamped review queue", "friendly fire:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPipelineDeterministicPerSeed(t *testing.T) {
+	a, hitA := runPipeline(detectionConfigForTest(), 7)
+	b, hitB := runPipeline(detectionConfigForTest(), 7)
+	if a.N() != b.N() || a.Median() != b.Median() || hitA != hitB {
+		t.Fatalf("same seed diverged: n=%d/%d median=%v/%v hits=%d/%d",
+			a.N(), b.N(), a.Median(), b.Median(), hitA, hitB)
+	}
+	if a.N() == 0 {
+		t.Fatal("pipeline detected nothing")
+	}
+}
+
+// detectionConfigForTest mirrors main's baseline configuration.
+func detectionConfigForTest() detection.Config { return detection.DefaultConfig() }

@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -26,35 +28,48 @@ func monthlyTechSupport(res *sim.Result) map[int]float64 {
 }
 
 func main() {
-	// Both runs cover one year, with the ban (when armed) at mid-year.
 	base := sim.SmallConfig()
 	base.Days = 360
 	base.Seed = 11
+	if err := run(os.Stdout, base, 180); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run simulates the same world twice — policy ban armed at banDay vs
+// never — and tabulates monthly techsupport spend over the horizon.
+func run(w io.Writer, base sim.Config, banDay simclock.Day) error {
+	months := int(base.Days) / 30
+	banMonth := int(banDay) / 30
+	if months < 2 || banMonth < 1 || banMonth >= months {
+		return fmt.Errorf("horizon %d days with ban at day %d leaves nothing to compare", base.Days, banDay)
+	}
 
 	withBan := base
-	withBan.Detection.TechSupportBanDay = 180
+	withBan.Detection.TechSupportBanDay = banDay
 
 	withoutBan := base
 	withoutBan.Detection.TechSupportBanDay = 100000 // never
 
-	fmt.Println("running with policy ban at month 7...")
+	fmt.Fprintf(w, "running with policy ban at month %d...\n", banMonth+1)
 	banned := monthlyTechSupport(sim.New(withBan).Run())
-	fmt.Println("running without the ban...")
+	fmt.Fprintln(w, "running without the ban...")
 	unbanned := monthlyTechSupport(sim.New(withoutBan).Run())
 
-	fmt.Printf("\n%-8s %18s %18s\n", "month", "ts spend (ban)", "ts spend (no ban)")
-	for m := 0; m < 12; m++ {
+	fmt.Fprintf(w, "\n%-8s %18s %18s\n", "month", "ts spend (ban)", "ts spend (no ban)")
+	for m := 0; m < months; m++ {
 		marker := ""
-		if m == 6 {
+		if m == banMonth {
 			marker = "  <- policy change"
 		}
-		fmt.Printf("%-8s %18.1f %18.1f%s\n",
+		fmt.Fprintf(w, "%-8s %18.1f %18.1f%s\n",
 			simclock.MonthStart(m).Label(), banned[m], unbanned[m], marker)
 	}
 
 	var preB, postB, preU, postU float64
-	for m := 0; m < 12; m++ {
-		if m < 6 {
+	for m := 0; m < months; m++ {
+		if m < banMonth {
 			preB += banned[m]
 			preU += unbanned[m]
 		} else {
@@ -62,11 +77,12 @@ func main() {
 			postU += unbanned[m]
 		}
 	}
-	fmt.Printf("\nwith ban:    pre=%.0f post=%.0f (%.0f%% of pre)\n", preB, postB, pct(postB, preB))
-	fmt.Printf("without ban: pre=%.0f post=%.0f (%.0f%% of pre)\n", preU, postU, pct(postU, preU))
-	fmt.Println("\nThe ban collapses the vertical while the control keeps earning —")
-	fmt.Println("\"targeted policy changes ... are likely to continue to be the most")
-	fmt.Println("effective instruments of fraud prevention\" (§7).")
+	fmt.Fprintf(w, "\nwith ban:    pre=%.0f post=%.0f (%.0f%% of pre)\n", preB, postB, pct(postB, preB))
+	fmt.Fprintf(w, "without ban: pre=%.0f post=%.0f (%.0f%% of pre)\n", preU, postU, pct(postU, preU))
+	fmt.Fprintln(w, "\nThe ban collapses the vertical while the control keeps earning —")
+	fmt.Fprintln(w, "\"targeted policy changes ... are likely to continue to be the most")
+	fmt.Fprintln(w, "effective instruments of fraud prevention\" (§7).")
+	return nil
 }
 
 func pct(a, b float64) float64 {

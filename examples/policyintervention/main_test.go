@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunComparesBanAgainstControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	base := sim.SmallConfig()
+	base.Seed = 11
+	base.Days = 120
+	base.QueriesPerDay = 800
+	base.RegistrationsPerDay = 10
+	base.InitialLegit = 250
+	var out strings.Builder
+	if err := run(&out, base, 60); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"policy ban at month 3", "<- policy change",
+		"with ban:", "without ban:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsDegenerateHorizon(t *testing.T) {
+	base := sim.SmallConfig()
+	base.Days = 30
+	var out strings.Builder
+	if err := run(&out, base, 90); err == nil {
+		t.Fatal("ban after the horizon accepted")
+	}
+}

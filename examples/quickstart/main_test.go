@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunPrintsHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := sim.SmallConfig()
+	cfg.Seed = 1
+	cfg.Days = 120
+	cfg.QueriesPerDay = 800
+	cfg.RegistrationsPerDay = 10
+	cfg.InitialLegit = 250
+	var out strings.Builder
+	if err := run(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"simulated 120 days", "fraud share of new registrations",
+		"fraudulent account lifetimes", "shutdowns before first ad",
+		"revenue lost",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

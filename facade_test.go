@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/stats"
@@ -9,17 +10,40 @@ import (
 // benchRNG gives the benchmarks a deterministic per-iteration generator.
 func benchRNG(seed uint64) *stats.RNG { return stats.NewRNG(seed) }
 
-func TestFacadeEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs a simulation")
-	}
+// facadeConfig is the tiny configuration shared by the façade's
+// end-to-end test and the quickstart golden (golden_facade_test.go).
+func facadeConfig() SimConfig {
 	cfg := SmallConfig()
 	cfg.Days = 120
 	cfg.QueriesPerDay = 800
 	cfg.RegistrationsPerDay = 10
 	cfg.InitialLegit = 250
 	cfg.Seed = 3
-	res := Run(cfg)
+	return cfg
+}
+
+// facadeRun memoizes one façade-level simulation plus its experiment env
+// across the tests in this package.
+var facadeRun struct {
+	once sync.Once
+	res  *SimResult
+	env  *Env
+}
+
+func facadeResult(t *testing.T) (*SimResult, *Env) {
+	t.Helper()
+	facadeRun.once.Do(func() {
+		facadeRun.res = Run(facadeConfig())
+		facadeRun.env = NewEnv(facadeRun.res, 500, 9)
+	})
+	return facadeRun.res, facadeRun.env
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	res, env := facadeResult(t)
 	if res.Clicks == 0 {
 		t.Fatal("dead economy")
 	}
@@ -27,7 +51,6 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if study.PreAdShutdownShare() <= 0 {
 		t.Fatal("no pre-ad shutdowns")
 	}
-	env := NewEnv(res, 500, 9)
 	if len(env.Battery) == 0 {
 		t.Fatal("no subset batteries")
 	}

@@ -1,0 +1,108 @@
+package repro
+
+// Top-layer golden: pins the façade quickstart flow end to end — run a
+// simulation, wrap it in a Study, build the experiment Env, reproduce a
+// figure — so any drift visible through the public API (not just inside
+// internal packages) fails a test. Regenerate with `make golden`.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// quickstartGolden is the fixture shape: the full dataset digest plus
+// the handful of headline values the package documentation's quickstart
+// produces.
+type quickstartGolden struct {
+	Digest               testutil.Digest `json:"digest"`
+	PreAdShutdownShare   float64         `json:"preAdShutdownShare"`
+	Windows              int             `json:"windows"`
+	SubsetSize           int             `json:"subsetSize"`
+	Experiments          int             `json:"experiments"`
+	Fig2MedianLifetimeY1 float64         `json:"fig2MedianAccountLifetimeY1Days"`
+}
+
+func quickstartValues(t *testing.T) quickstartGolden {
+	t.Helper()
+	res, env := facadeResult(t)
+	exp, ok := Experiment("fig2")
+	if !ok {
+		t.Fatal("fig2 missing")
+	}
+	return quickstartGolden{
+		Digest:               testutil.DigestResult(res),
+		PreAdShutdownShare:   NewStudy(res).PreAdShutdownShare(),
+		Windows:              len(env.Battery),
+		SubsetSize:           env.SubsetSize,
+		Experiments:          len(Experiments()),
+		Fig2MedianLifetimeY1: exp.Run(env).Metrics["median_account_lifetime_y1_days"],
+	}
+}
+
+func TestGoldenQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	testutil.GoldenJSON(t, filepath.Join("testdata", "quickstart.golden.json"), quickstartValues(t))
+}
+
+// TestGoldenQuickstartCompanionInvariants holds for any valid run, so a
+// regenerated quickstart fixture violating them is a bug, not a baseline.
+func TestGoldenQuickstartCompanionInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	g := quickstartValues(t)
+	if g.PreAdShutdownShare <= 0 || g.PreAdShutdownShare > 1 {
+		t.Errorf("preAdShutdownShare=%v outside (0,1]", g.PreAdShutdownShare)
+	}
+	if g.Experiments != 23 {
+		t.Errorf("experiments=%d, registry holds 23", g.Experiments)
+	}
+	if g.Fig2MedianLifetimeY1 <= 0 {
+		t.Errorf("fig2 median lifetime %v not positive", g.Fig2MedianLifetimeY1)
+	}
+	res, env := facadeResult(t)
+	if g.Windows != len(res.Collector.Windows()) {
+		t.Errorf("battery count %d != tracked windows %d", g.Windows, len(res.Collector.Windows()))
+	}
+	d := g.Digest
+	if d.Fingerprint == "" {
+		t.Error("empty fingerprint")
+	}
+	if d.Accounts.Records == 0 || d.Billing.Records == 0 || d.Detections.Records == 0 {
+		t.Errorf("degenerate digest: %+v", d)
+	}
+	if d.Counters.Clicks > d.Counters.Impressions {
+		t.Errorf("clicks (%d) exceed impressions (%d)", d.Counters.Clicks, d.Counters.Impressions)
+	}
+
+	// The subset battery partitions disjoint populations: no account on
+	// both the fraud and non-fraud sides, no duplicates within a subset.
+	for _, b := range env.Battery {
+		fraudSide := map[int32]bool{}
+		nonfraudSide := map[int32]bool{}
+		for _, entry := range b.AllSubsets() {
+			seen := map[int32]bool{}
+			for _, id := range entry.Sub.IDs {
+				n := int32(id)
+				if seen[n] {
+					t.Errorf("window %s subset %q lists account %d twice", b.Window.Name, entry.Sub.Name, n)
+				}
+				seen[n] = true
+				if entry.Fraud {
+					fraudSide[n] = true
+				} else {
+					nonfraudSide[n] = true
+				}
+			}
+		}
+		for id := range fraudSide {
+			if nonfraudSide[id] {
+				t.Errorf("window %s: account %d on both battery sides", b.Window.Name, id)
+			}
+		}
+	}
+}

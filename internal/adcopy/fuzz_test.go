@@ -1,0 +1,108 @@
+package adcopy
+
+// Fuzz targets for the text-normalization layer. These functions sit on
+// the adversarial boundary of the system — fraudulent ad copy and live
+// search queries are exactly the inputs an attacker controls — so their
+// algebraic properties (idempotence, digit preservation, evasion/fold
+// round-trips) are fuzzed rather than just spot-checked. Seed corpus
+// lives under testdata/fuzz/; run `make fuzz-smoke` for a short cycle.
+
+import (
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fuzzRNG derives a deterministic generator from the fuzz input so
+// failures reproduce exactly from the corpus file alone.
+func fuzzRNG(s string) *stats.RNG {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return stats.NewRNG(h.Sum64())
+}
+
+func FuzzCanonicalToken(f *testing.F) {
+	for _, s := range []string{"dog's", "cats)s", "(free)", "download", "ss", "''", "class!!"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		once := CanonicalToken(s)
+		if twice := CanonicalToken(once); twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+		if once != strings.Trim(once, ".,;:!?\"'()[]") {
+			t.Fatalf("canonical token %q still carries edge punctuation (from %q)", once, s)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"Free Download", "dog's  (best)  cats)s", "... '' !!", "tech support number"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Tokenize(%q) emitted an empty token: %q", s, toks)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("Tokenize(%q) emitted non-lowered token %q", s, tok)
+			}
+		}
+		// Canonical tokens must re-tokenize to themselves: the matcher
+		// compares token sequences, so tokenization must be a projection.
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("re-tokenization changed length: %q vs %q", toks, again)
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("re-tokenization drifted at %d: %q vs %q", i, toks, again)
+			}
+		}
+	})
+}
+
+func FuzzFoldLookalikes(f *testing.F) {
+	for _, s := range []string{"free download", "t3ch supp0rt", "Ópen ñow", "CALL 1-800", "já $ale"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		folded := FoldLookalikes(s)
+		if again := FoldLookalikes(folded); again != folded {
+			t.Fatalf("fold not idempotent: %q -> %q -> %q", s, folded, again)
+		}
+		// The evasion transform must be invisible to the detector's fold:
+		// whatever substitutions the attacker rolls, folding recovers the
+		// same canonical text as folding the original.
+		evaded := LookalikeTransform(fuzzRNG(s), s)
+		if FoldLookalikes(evaded) != folded {
+			t.Fatalf("fold does not invert evasion: %q -> %q, fold %q want %q",
+				s, evaded, FoldLookalikes(evaded), folded)
+		}
+	})
+}
+
+func FuzzObfuscatePhone(f *testing.F) {
+	for _, s := range []string{"1-800-555-1000", "(555) 123 4567", "no digits here", "", "5551000"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := ObfuscatePhone(fuzzRNG(s), s)
+		digits := DigitsOf(s)
+		if len(digits) == 0 {
+			if out != s {
+				t.Fatalf("digitless input rewritten: %q -> %q", s, out)
+			}
+			return
+		}
+		// Obfuscation plays separator games only: the digit stream — what
+		// a robust detector keys on — survives in order.
+		if got := DigitsOf(out); string(got) != string(digits) {
+			t.Fatalf("digits not preserved: %q (%s) -> %q (%s)", s, digits, out, got)
+		}
+	})
+}

@@ -93,19 +93,30 @@ func Tokenize(phrase string) []string {
 	fields := strings.Fields(strings.ToLower(phrase))
 	out := make([]string, 0, len(fields))
 	for _, f := range fields {
-		out = append(out, CanonicalToken(f))
+		if t := CanonicalToken(f); t != "" {
+			out = append(out, t)
+		}
 	}
 	return out
 }
 
 // CanonicalToken normalizes a single token: strip surrounding punctuation,
-// fold a trailing plural 's' on words of four letters or more.
+// fold a trailing plural 's' on words of four letters or more. The two
+// rules are applied to a fixed point so the result is idempotent — a
+// plural fold can expose more trailing punctuation ("cats)" → "cat") and
+// vice versa ("dog's" → "dog"), and the matcher relies on canonical
+// tokens canonicalizing to themselves.
 func CanonicalToken(tok string) string {
-	tok = strings.Trim(tok, ".,;:!?\"'()[]")
-	if len(tok) >= 4 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") {
-		tok = tok[:len(tok)-1]
+	for {
+		prev := tok
+		tok = strings.Trim(tok, ".,;:!?\"'()[]")
+		if len(tok) >= 4 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") {
+			tok = tok[:len(tok)-1]
+		}
+		if tok == prev {
+			return tok
+		}
 	}
-	return tok
 }
 
 // SampleKeywords draws n distinct keyword IDs from the universe with

@@ -56,6 +56,23 @@ func (s *Subsets) FraudSubsets() []Subset {
 	return []Subset{s.Fraud, s.FWithClicks, s.FSpendWeight, s.FVolumeWeight}
 }
 
+// AllSubsets lists every subset in the battery with its fraud-side flag,
+// for invariant checks (the regression harness verifies fraud-side and
+// non-fraud-side subsets partition disjoint account populations).
+func (s *Subsets) AllSubsets() []struct {
+	Sub   Subset
+	Fraud bool
+} {
+	return []struct {
+		Sub   Subset
+		Fraud bool
+	}{
+		{s.Fraud, true}, {s.FWithClicks, true}, {s.FSpendWeight, true}, {s.FVolumeWeight, true},
+		{s.Nonfraud, false}, {s.NFWithClicks, false}, {s.NFSpendWeight, false}, {s.NFVolumeWeight, false},
+		{s.NFSpendMatch, false}, {s.NFVolumeMatch, false}, {s.NFRateMatch, false},
+	}
+}
+
 // ComparisonPairs returns the subset sequence used by Figures 7 and 9:
 // with-clicks, spend-weighted/matched, and volume-weighted/matched pairs.
 func (s *Subsets) ComparisonPairs() []Subset {

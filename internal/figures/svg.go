@@ -9,6 +9,7 @@ package figures
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -70,17 +71,19 @@ func (d *doc) axes(xLabel, yLabel string, xTicks, yTicks map[float64]string) {
 	x1, y1 := chartWidth-marginRight, marginTop
 	fmt.Fprintf(&d.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
 		x0, y1, x1-x0, y0-y1)
-	for f, label := range xTicks {
+	// Emit ticks in sorted position order: map iteration order would make
+	// the rendered document nondeterministic run-to-run.
+	for _, f := range sortedTickKeys(xTicks) {
 		x := float64(x0) + f*float64(x1-x0)
 		fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n", x, y0, x, y0+5)
 		fmt.Fprintf(&d.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
-			x, y0+18, escape(label))
+			x, y0+18, escape(xTicks[f]))
 	}
-	for f, label := range yTicks {
+	for _, f := range sortedTickKeys(yTicks) {
 		y := float64(y0) - f*float64(y0-y1)
 		fmt.Fprintf(&d.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n", x0-5, y, x0, y)
 		fmt.Fprintf(&d.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
-			x0-8, y+4, escape(label))
+			x0-8, y+4, escape(yTicks[f]))
 	}
 	fmt.Fprintf(&d.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
 		(x0+x1)/2, chartHeight-12, escape(xLabel))
@@ -104,6 +107,15 @@ func (d *doc) legend(series []Series) {
 			x+28, y+4, escape(truncate(s.Name, 18)))
 		y += 18
 	}
+}
+
+func sortedTickKeys(ticks map[float64]string) []float64 {
+	keys := make([]float64, 0, len(ticks))
+	for f := range ticks {
+		keys = append(keys, f)
+	}
+	sort.Float64s(keys)
+	return keys
 }
 
 func truncate(s string, n int) string {

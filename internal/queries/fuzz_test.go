@@ -1,0 +1,52 @@
+package queries
+
+// Fuzz target for the query generator: any seed must yield a
+// deterministic, well-formed query stream. The generator feeds both the
+// simulation loop and the live adserver, so malformed queries (vertical
+// out of range, empty keyword, unknown form) would corrupt every layer
+// above. Seed corpus lives under testdata/fuzz/.
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+func FuzzGeneratorSeed(f *testing.F) {
+	f.Add(uint64(0), uint8(8))
+	f.Add(uint64(42), uint8(32))
+	f.Add(uint64(1<<63), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint8) {
+		draws := int(n%64) + 1
+		a := NewGenerator(stats.NewRNG(seed))
+		b := NewGenerator(stats.NewRNG(seed))
+		nVerts := len(verticals.All())
+		for i := 0; i < draws; i++ {
+			qa, qb := a.Next(), b.Next()
+			if qa != qb {
+				t.Fatalf("seed %d draw %d diverged: %+v vs %+v", seed, i, qa, qb)
+			}
+			if qa.VerticalIdx < 0 || qa.VerticalIdx >= nVerts {
+				t.Fatalf("vertical index %d out of range [0,%d)", qa.VerticalIdx, nVerts)
+			}
+			u := a.Universe(qa.VerticalIdx)
+			if qa.KeywordID < 0 || qa.KeywordID >= u.Size() {
+				t.Fatalf("keyword %d outside universe of %d", qa.KeywordID, u.Size())
+			}
+			kw := u.Keywords[qa.KeywordID]
+			if kw.Phrase == "" || len(kw.Tokens) == 0 {
+				t.Fatalf("keyword %d has empty phrase/tokens", qa.KeywordID)
+			}
+			if qa.Cluster != kw.Cluster {
+				t.Fatalf("query cluster %d != keyword cluster %d", qa.Cluster, kw.Cluster)
+			}
+			if qa.Form > 2 {
+				t.Fatalf("unknown query form %v", qa.Form)
+			}
+			if qa.Country == "" {
+				t.Fatal("empty country")
+			}
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package report
+
+// Golden regression layer for the experiment harness: every registered
+// figure/table ID gets (1) a pinned Output fixture under testdata/, and
+// (2) a companion invariant check that must hold for ANY valid run —
+// so a regenerated fixture that violates its invariants is rejected as
+// wrong behavior, not accepted as a new baseline.
+//
+// Regenerate fixtures with `make golden` after intentional behavioral
+// changes (see internal/testutil/README.md).
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// canonicalOutput renders an Output into the canonical golden text:
+// the String() block (ID, title, paper line, rows, sorted metrics)
+// followed by one line per attached SVG. SVG bodies are large and
+// volatile in layout, so they are pinned by content hash + size rather
+// than inlined.
+func canonicalOutput(o *Output) string {
+	var b strings.Builder
+	b.WriteString(o.String())
+	if len(o.SVGs) > 0 {
+		names := make([]string, 0, len(o.SVGs))
+		for n := range o.SVGs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("svgs:\n")
+		for _, n := range names {
+			sum := sha256.Sum256([]byte(o.SVGs[n]))
+			fmt.Fprintf(&b, "  %s sha256=%x bytes=%d\n", n, sum[:8], len(o.SVGs[n]))
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenOutputs pins every registered experiment's Output against
+// testdata/<id>.golden.txt. Each experiment is run twice and the two
+// renderings compared first, so in-process nondeterminism (map
+// iteration, unsorted collection) is reported as such instead of as a
+// flaky fixture mismatch.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	env := testEnv(t)
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			first := canonicalOutput(e.Run(env))
+			second := canonicalOutput(e.Run(env))
+			if first != second {
+				t.Fatalf("%s is nondeterministic across in-process runs:\n%s",
+					e.ID, testutil.Diff(first, second))
+			}
+			testutil.GoldenString(t, filepath.Join("testdata", e.ID+".golden.txt"), first)
+		})
+	}
+}
+
+// metricInvariants maps every experiment ID to checks that any valid
+// Output must satisfy. These are the companions to the fixtures above:
+// shares live in [0,1], lifetimes and spends are non-negative, indicator
+// metrics are 0/1, derived ratios agree with their inputs.
+var metricInvariants = map[string]func(t *testing.T, o *Output){
+	"fig1": func(t *testing.T, o *Output) {
+		inUnit(t, o, "share_first_month", "share_last_month", "share_min", "share_max")
+		lo, hi := o.Metrics["share_min"], o.Metrics["share_max"]
+		for _, k := range []string{"share_first_month", "share_last_month"} {
+			if v := o.Metrics[k]; v < lo-1e-9 || v > hi+1e-9 {
+				t.Errorf("%s=%v outside [share_min=%v, share_max=%v]", k, v, lo, hi)
+			}
+		}
+	},
+	"table1": func(t *testing.T, o *Output) {
+		prefixed(t, o, "top_share_", func(k string, v float64) {
+			unitInterval(t, k, v)
+		})
+		prefixed(t, o, "top_is_US_", func(k string, v float64) {
+			indicator(t, k, v)
+		})
+	},
+	"fig2": func(t *testing.T, o *Output) {
+		nonNeg(t, o, "median_account_lifetime_y1_days", "median_account_lifetime_y2_days",
+			"p90_ad_lifetime_y1_days", "p90_ad_lifetime_y2_days")
+		inUnit(t, o, "preads_shutdown_share")
+	},
+	"fig3": func(t *testing.T, o *Output) {
+		nonNeg(t, o, "inwindow_spend_early_mean", "inwindow_spend_late_mean",
+			"inwindow_spend_late_over_early", "outwindow_over_inwindow_spend")
+	},
+	"fig4": func(t *testing.T, o *Output) {
+		// The top decile by a metric can never hold less of that metric
+		// than a uniform decile would.
+		for _, k := range []string{"top10pct_spend_share", "top10pct_click_share"} {
+			unitInterval(t, k, o.Metrics[k])
+			if o.Metrics[k] < 0.10 {
+				t.Errorf("%s=%v below the uniform floor 0.10", k, o.Metrics[k])
+			}
+		}
+	},
+	"fig5": func(t *testing.T, o *Output) {
+		nonNeg(t, o, "median_rate_fraud", "median_rate_nonfraud",
+			"fraud_over_nonfraud_median_rate", "fraud_over_nonfraud_p10_rate")
+	},
+	"fig6": func(t *testing.T, o *Output) {
+		nonNeg(t, o, "highest_bucket_fraud_over_nonfraud")
+	},
+	"fig7": func(t *testing.T, o *Output) {
+		prefixed(t, o, "median_", func(k string, v float64) {
+			if v < 0 {
+				t.Errorf("%s=%v negative (counts of created entities)", k, v)
+			}
+		})
+	},
+	"fig8": func(t *testing.T, o *Output) {
+		nonNeg(t, o, "techsupport_spend_before_ban", "techsupport_spend_after_ban",
+			"techsupport_after_over_before")
+		inUnit(t, o, "techsupport_share_before_ban")
+	},
+	"table2": func(t *testing.T, o *Output) {
+		if o.Metrics["categories"] != 5 {
+			t.Errorf("categories=%v, taxonomy has 5", o.Metrics["categories"])
+		}
+	},
+	"table3": func(t *testing.T, o *Output) {
+		inUnit(t, o, "top_share_of_fraud", "us_share_of_country", "br_share_of_country")
+		indicator(t, "top_is_US", o.Metrics["top_is_US"])
+	},
+	"table4": func(t *testing.T, o *Output) {
+		// Each side's match-type shares form a distribution.
+		for _, side := range []string{"fraud_share_", "nonfraud_share_"} {
+			sum := 0.0
+			prefixed(t, o, side, func(k string, v float64) {
+				unitInterval(t, k, v)
+				sum += v
+			})
+			if sum > 0 && math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%s* shares sum to %v, want 1", side, sum)
+			}
+		}
+	},
+	"fig9": func(t *testing.T, o *Output) {
+		prefixed(t, o, "median_", func(k string, v float64) {
+			if strings.Contains(k, "_share_") {
+				unitInterval(t, k, v)
+			} else if v < 0 { // *_bid_* medians
+				t.Errorf("%s=%v negative bid", k, v)
+			}
+		})
+		inUnit(t, o, "zero_exact_share_fraud", "zero_exact_share_nonfraud")
+	},
+	"fig10": clickRateInvariants,
+	"fig11": clickRateInvariants,
+	"fig12": positionInvariants,
+	"fig13": positionInvariants,
+	"fig14": ctrImpactInvariants,
+	"fig15": cpcImpactInvariants,
+	"fig16": ctrImpactInvariants,
+	"fig17": cpcImpactInvariants,
+	"ext1": func(t *testing.T, o *Output) {
+		inUnit(t, o, "auc_all_fraud", "auc_successful_fraud")
+		all, top, drop := o.Metrics["auc_all_fraud"], o.Metrics["auc_successful_fraud"], o.Metrics["auc_drop"]
+		if math.Abs(all-top-drop) > 1e-9 {
+			t.Errorf("auc_drop=%v != auc_all_fraud-auc_successful_fraud=%v", drop, all-top)
+		}
+	},
+	"ext2": func(t *testing.T, o *Output) {
+		inUnit(t, o, "repeat_share_last_half", "repeat_share_first_half")
+		nonNeg(t, o, "median_life_fresh_days", "median_life_repeat_days")
+	},
+}
+
+// clickRateInvariants: figs 10/11 report per-account rate distributions;
+// a p95 can never undercut the median of the same distribution.
+func clickRateInvariants(t *testing.T, o *Output) {
+	nonNeg(t, o, "median_fraud", "median_nonfraud", "p95_nonfraud")
+	if o.Metrics["p95_nonfraud"] < o.Metrics["median_nonfraud"] {
+		t.Errorf("p95_nonfraud=%v below median_nonfraud=%v",
+			o.Metrics["p95_nonfraud"], o.Metrics["median_nonfraud"])
+	}
+}
+
+// positionInvariants: figs 12/13 report SERP position histograms with
+// 1-based slots.
+func positionInvariants(t *testing.T, o *Output) {
+	inUnit(t, o, "top_pos_share_organic", "top_pos_share_influenced")
+	for _, k := range []string{"median_pos_organic", "median_pos_influenced"} {
+		if v, ok := o.Metrics[k]; ok && v < 1 {
+			t.Errorf("%s=%v below position 1", k, v)
+		}
+	}
+}
+
+// ctrImpactInvariants: figs 14/16 compare CTR distributions (rates in
+// [0,1]) between organic and fraud-influenced auctions.
+func ctrImpactInvariants(t *testing.T, o *Output) {
+	inUnit(t, o, "median_organic", "median_influenced",
+		"nearzero_organic", "nearzero_influenced")
+	nonNeg(t, o, "influenced_over_organic_median")
+}
+
+// cpcImpactInvariants: figs 15/17 compare CPC distributions (prices,
+// non-negative) between organic and fraud-influenced auctions.
+func cpcImpactInvariants(t *testing.T, o *Output) {
+	nonNeg(t, o, "median_organic", "median_influenced", "influenced_over_organic_median",
+		"nearzero_organic", "nearzero_influenced")
+}
+
+// helpers — each tolerates an absent metric (some are conditional on
+// non-degenerate data) but rejects a present one out of range.
+
+func unitInterval(t *testing.T, k string, v float64) {
+	t.Helper()
+	if v < -1e-9 || v > 1+1e-9 {
+		t.Errorf("%s=%v outside [0,1]", k, v)
+	}
+}
+
+func indicator(t *testing.T, k string, v float64) {
+	t.Helper()
+	if v != 0 && v != 1 {
+		t.Errorf("%s=%v not a 0/1 indicator", k, v)
+	}
+}
+
+func inUnit(t *testing.T, o *Output, names ...string) {
+	t.Helper()
+	for _, k := range names {
+		if v, ok := o.Metrics[k]; ok {
+			unitInterval(t, k, v)
+		}
+	}
+}
+
+func nonNeg(t *testing.T, o *Output, names ...string) {
+	t.Helper()
+	for _, k := range names {
+		if v, ok := o.Metrics[k]; ok && v < 0 {
+			t.Errorf("%s=%v negative", k, v)
+		}
+	}
+}
+
+func prefixed(t *testing.T, o *Output, prefix string, check func(k string, v float64)) {
+	t.Helper()
+	keys := make([]string, 0, len(o.Metrics))
+	for k := range o.Metrics {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		check(k, o.Metrics[k])
+	}
+}
+
+// TestGoldenOutputCompanionInvariants runs every experiment and applies
+// its invariant entry, plus generic checks: the invariant table covers
+// the whole registry, outputs are non-empty, and every metric is finite.
+func TestGoldenOutputCompanionInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	for _, e := range All() {
+		if _, ok := metricInvariants[e.ID]; !ok {
+			t.Errorf("experiment %s registered without a companion invariant entry", e.ID)
+		}
+	}
+	for id := range metricInvariants {
+		if _, ok := Get(id); !ok {
+			t.Errorf("invariant entry %s has no registered experiment", id)
+		}
+	}
+	env := testEnv(t)
+	for _, e := range All() {
+		e := e
+		inv, ok := metricInvariants[e.ID]
+		if !ok {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			o := e.Run(env)
+			if len(o.Lines) == 0 && len(o.Metrics) == 0 {
+				t.Fatal("empty output")
+			}
+			for k, v := range o.Metrics {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("metric %s is %v", k, v)
+				}
+			}
+			inv(t, o)
+		})
+	}
+}
+
+// TestGoldenSubsetBatteryDisjoint is the §3.3 conservation law backing
+// every subset-based golden: within each window's battery, fraud-side
+// and non-fraud-side subsets draw from disjoint account populations,
+// and no subset contains a duplicate account.
+func TestGoldenSubsetBatteryDisjoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs env")
+	}
+	env := testEnv(t)
+	for _, b := range env.Battery {
+		fraudIDs := map[int64]bool{}
+		nonfraudIDs := map[int64]bool{}
+		for _, entry := range b.AllSubsets() {
+			seen := map[int64]bool{}
+			for _, id := range entry.Sub.IDs {
+				n := int64(id)
+				if seen[n] {
+					t.Errorf("window %s subset %q contains account %d twice",
+						b.Window.Name, entry.Sub.Name, n)
+				}
+				seen[n] = true
+				if entry.Fraud {
+					fraudIDs[n] = true
+				} else {
+					nonfraudIDs[n] = true
+				}
+			}
+		}
+		for id := range fraudIDs {
+			if nonfraudIDs[id] {
+				t.Errorf("window %s: account %d appears on both fraud and non-fraud sides",
+					b.Window.Name, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Determinism suite: the measurement methodology rests on sim.go's claim
+// that runs are "all deterministic under a single seed". These tests
+// prove it at the dataset level — not just headline counters — so the
+// golden digests in golden_test.go are trustworthy regression anchors,
+// and so future concurrency work (sharding, batching, async serving)
+// cannot silently introduce scheduling-dependent output.
+package sim_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// detConfig is a shorter run than goldenConfig so the three extra
+// simulations in this file stay cheap.
+func detConfig(seed uint64) sim.Config {
+	cfg := goldenConfig()
+	cfg.Seed = seed
+	cfg.Days = 60
+	return cfg
+}
+
+// digestBytes runs a config and returns its digest in canonical bytes.
+func digestBytes(t *testing.T, cfg sim.Config) []byte {
+	t.Helper()
+	b, err := testutil.MarshalStable(testutil.DigestResult(sim.New(cfg).Run()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSameSeedByteIdentical proves two fresh same-seed runs produce
+// byte-identical dataset digests — every account, weekly aggregate,
+// window aggregate, ledger entry and detection record, not just totals.
+func TestSameSeedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	a := digestBytes(t, detConfig(99))
+	b := digestBytes(t, detConfig(99))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different datasets:\n%s", testutil.Diff(string(a), string(b)))
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the digest (or the engine)
+// degenerating into something seed-independent.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	a := testutil.DigestResult(sim.New(detConfig(101)).Run())
+	b := testutil.DigestResult(sim.New(detConfig(102)).Run())
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatalf("different seeds produced identical fingerprints (%s)", a.Fingerprint)
+	}
+}
+
+// TestDigestStableAcrossGOMAXPROCS pins the digest against the runtime's
+// parallelism setting. The engine is currently single-goroutine, so this
+// passes trivially — it exists as the tripwire for the roadmap's async /
+// sharded serving loop: once work fans out, this test is what proves the
+// fan-in is order-insensitive.
+func TestDigestStableAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two simulations")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := digestBytes(t, detConfig(7))
+	runtime.GOMAXPROCS(prev)
+	parallel := digestBytes(t, detConfig(7))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("digest depends on GOMAXPROCS:\n%s", testutil.Diff(string(serial), string(parallel)))
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -22,16 +23,19 @@ func tinyConfig(seed uint64) Config {
 	return cfg
 }
 
-// run memoizes one tiny simulation across tests in this package.
-var tinyRun = struct {
-	res *Result
-}{}
+// tinyRun memoizes one tiny simulation across tests in this package. The
+// sync.Once (rather than a lazy nil check) keeps the cache safe under
+// `go test -race` if any test here ever opts into t.Parallel().
+var tinyRun struct {
+	once sync.Once
+	res  *Result
+}
 
 func tinyResult(t *testing.T) *Result {
 	t.Helper()
-	if tinyRun.res == nil {
+	tinyRun.once.Do(func() {
 		tinyRun.res = New(tinyConfig(7)).Run()
-	}
+	})
 	return tinyRun.res
 }
 

@@ -1,0 +1,149 @@
+// Package testutil is the correctness-verification toolkit behind the
+// repo's golden-dataset regression tests: stable JSON encoding, golden
+// file comparison with diff-on-mismatch and a shared -update-golden
+// flag, and a canonical digest that fingerprints a simulation's datasets
+// (see digest.go). Every future refactor of the hot paths — sharding,
+// batching, async serving — must leave the golden digests byte-identical
+// or regenerate them deliberately; see README.md in this directory for
+// the workflow.
+package testutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden is registered once per test binary; run
+//
+//	make golden
+//
+// (or `go test <pkg> -run Golden -update-golden`) to rewrite fixtures.
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite golden files under testdata/ with the current output instead of comparing")
+
+// Updating reports whether the test run is regenerating golden files.
+func Updating() bool { return *updateGolden }
+
+// Golden compares got against the golden file at path, failing with a
+// line diff on mismatch. With -update-golden it (re)writes the file
+// instead and never fails.
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testutil: create golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("testutil: write golden %s: %v", path, err)
+		}
+		t.Logf("wrote golden %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("golden file %s does not exist; generate it with `make golden` "+
+			"(go test -run Golden -update-golden)", path)
+	}
+	if err != nil {
+		t.Fatalf("testutil: read golden %s: %v", path, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("output differs from golden %s (regenerate deliberately with `make golden`):\n%s",
+			path, Diff(string(want), string(got)))
+	}
+}
+
+// GoldenString is Golden for string output.
+func GoldenString(t *testing.T, path, got string) {
+	t.Helper()
+	Golden(t, path, []byte(got))
+}
+
+// GoldenJSON stable-encodes v and compares it against the golden file.
+func GoldenJSON(t *testing.T, path string, v interface{}) {
+	t.Helper()
+	b, err := MarshalStable(v)
+	if err != nil {
+		t.Fatalf("testutil: encode golden value: %v", err)
+	}
+	Golden(t, path, b)
+}
+
+// MarshalStable encodes v as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so the encoding is deterministic for any
+// value whose slices are deterministically ordered.
+func MarshalStable(v interface{}) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// maxDiffLines caps how much of a mismatch Diff renders before eliding.
+const maxDiffLines = 60
+
+// Diff renders a compact line-oriented diff (want vs got) based on a
+// longest-common-subsequence alignment. Golden files are small, so the
+// quadratic alignment is fine; output is capped at maxDiffLines.
+func Diff(want, got string) string {
+	a := strings.Split(want, "\n")
+	b := strings.Split(got, "\n")
+
+	// LCS table.
+	lcs := make([][]int32, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var out []string
+	emit := func(mark string, lineno int, line string) {
+		out = append(out, fmt.Sprintf("%s%4d| %s", mark, lineno, line))
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) && len(out) <= maxDiffLines {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			emit("-", i+1, a[i])
+			i++
+		default:
+			emit("+", j+1, b[j])
+			j++
+		}
+	}
+	for ; i < len(a) && len(out) <= maxDiffLines; i++ {
+		emit("-", i+1, a[i])
+	}
+	for ; j < len(b) && len(out) <= maxDiffLines; j++ {
+		emit("+", j+1, b[j])
+	}
+	if len(out) > maxDiffLines {
+		out = append(out[:maxDiffLines], fmt.Sprintf("... (diff truncated at %d lines)", maxDiffLines))
+	}
+	if len(out) == 0 {
+		return "(contents equal after newline split — check trailing bytes)"
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,108 @@
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMarshalStableDeterministic(t *testing.T) {
+	v := map[string]int{"zulu": 1, "alpha": 2, "mike": 3}
+	a, err := MarshalStable(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := MarshalStable(map[string]int{"mike": 3, "zulu": 1, "alpha": 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("unstable encoding:\n%s\nvs\n%s", a, b)
+		}
+	}
+	if !strings.HasSuffix(string(a), "\n") {
+		t.Fatal("missing trailing newline")
+	}
+	// Keys must come out sorted.
+	if strings.Index(string(a), "alpha") > strings.Index(string(a), "zulu") {
+		t.Fatalf("keys not sorted:\n%s", a)
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "x.golden")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("hello\nworld\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Golden(t, path, []byte("hello\nworld\n")) // must not fail
+}
+
+func TestGoldenMismatchFails(t *testing.T) {
+	if Updating() {
+		t.Skip("comparison semantics are bypassed under -update-golden")
+	}
+	path := filepath.Join(t.TempDir(), "x.golden")
+	if err := os.WriteFile(path, []byte("a\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mock := &testing.T{}
+	Golden(mock, path, []byte("a\nc\n"))
+	if !mock.Failed() {
+		t.Fatal("mismatch did not fail the test")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d := Diff("a\nb\nc", "a\nx\nc")
+	if !strings.Contains(d, "-   2| b") || !strings.Contains(d, "+   2| x") {
+		t.Fatalf("diff missing changed lines:\n%s", d)
+	}
+	if strings.Contains(d, "| a") || strings.Contains(d, "| c") {
+		t.Fatalf("diff includes unchanged lines:\n%s", d)
+	}
+
+	// Pure insertion and pure deletion.
+	if d := Diff("a\nb", "a\nb\nc"); !strings.Contains(d, "+   3| c") {
+		t.Fatalf("insertion diff:\n%s", d)
+	}
+	if d := Diff("a\nb\nc", "a\nc"); !strings.Contains(d, "-   2| b") {
+		t.Fatalf("deletion diff:\n%s", d)
+	}
+
+	// Truncation on huge diffs.
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		sb.WriteString("line\n")
+	}
+	d = Diff("", sb.String())
+	if !strings.Contains(d, "truncated") {
+		t.Fatal("huge diff not truncated")
+	}
+	if got := len(strings.Split(d, "\n")); got > maxDiffLines+1 {
+		t.Fatalf("diff has %d lines, cap is %d", got, maxDiffLines+1)
+	}
+}
+
+func TestCanonFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:     "0",
+		1.5:   "1.5",
+		-1:    "-1",
+		1e300: "1e+300",
+	}
+	for v, want := range cases {
+		if got := canonFloat(v); got != want {
+			t.Fatalf("canonFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Nearby floats must render distinctly (exact round-trip precision).
+	a, b := 0.1, 0.2
+	if canonFloat(a+b) == canonFloat(0.3) {
+		t.Fatal("canonFloat collapsed distinct floats")
+	}
+}
