@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify golden bench fuzz-smoke
+.PHONY: build vet test race chaos verify golden bench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,17 +17,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the fault-injection resilience suite under the race
+# detector: seeded latency/error/panic injection against the adserver
+# stack (shed = 429 not timeout, panics never kill the process, drain on
+# shutdown, backoff client convergence).
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject
+
 # verify is the full pre-merge gate: static checks, build, and the whole
-# suite (goldens, determinism, invariants, smoke tests) under the race
-# detector.
-verify: vet build race
+# suite (goldens, determinism, invariants, smoke tests, chaos) under the
+# race detector.
+verify: vet build race chaos
 
 # golden regenerates every golden fixture (sim digests, per-experiment
 # report outputs, the façade quickstart). Only the packages that define
 # the -update-golden flag are targeted; see internal/testutil/README.md
 # for when regeneration is legitimate.
 golden:
-	$(GO) test . ./internal/sim ./internal/report -run 'Golden' -update-golden
+	$(GO) test . ./internal/sim ./internal/report ./internal/adserver -run 'Golden' -update-golden
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -40,3 +47,4 @@ fuzz-smoke:
 	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzFoldLookalikes -fuzztime 5s
 	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzObfuscatePhone -fuzztime 5s
 	$(GO) test ./internal/queries -run '^$$' -fuzz FuzzGeneratorSeed -fuzztime 5s
+	$(GO) test ./internal/adserver -run '^$$' -fuzz FuzzResolve -fuzztime 5s

@@ -2,14 +2,22 @@
 // resulting platform, and serves it over HTTP: live search queries in,
 // auctioned ad blocks out.
 //
+// The process binds its socket immediately and answers /healthz from
+// the first instant; /readyz stays 503 until the bootstrap simulation
+// completes and the serving stack (admission control, per-request
+// deadlines, panic recovery) is installed. SIGINT/SIGTERM drains
+// in-flight requests within the -grace period before exiting.
+//
 // Usage:
 //
 //	adserver [-addr :8406] [-scale small|medium] [-seed N] [-days N]
+//	         [-max-inflight N] [-request-timeout D] [-grace D]
 //
 // Then:
 //
 //	curl 'http://localhost:8406/search?q=free+download&country=US'
 //	curl 'http://localhost:8406/stats'
+//	curl 'http://localhost:8406/readyz'
 package main
 
 import (
@@ -17,8 +25,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
@@ -27,15 +39,112 @@ import (
 )
 
 func main() {
-	srv, addr, err := setup(os.Args[1:], os.Stderr)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
-	log.Printf("serving %s on %s", srv, addr)
-	if err := http.ListenAndServe(addr, srv); err != nil {
-		log.Fatal(err)
+}
+
+// run is the testable entry point: it binds the listener, serves health
+// probes while the bootstrap simulation runs, installs the resilient
+// handler, and blocks until a shutdown signal drains the server. A nil
+// stop channel wires OS signals; onReady (optional) observes the bound
+// address once serving begins.
+func run(args []string, stderr io.Writer, stop <-chan os.Signal, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("adserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8406", "listen address")
+	scale := fs.String("scale", "small", "bootstrap simulation scale: small or medium")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 0, "override bootstrap simulation days (0 = scale default)")
+	queries := fs.Int("queries", 0, "override bootstrap queries per day (0 = scale default)")
+	maxInflight := fs.Int("max-inflight", 256, "max concurrent /search requests before shedding with 429 (0 = unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Second, "per-request deadline for /search (0 = none)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain grace period")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+
+	cfg, err := simConfig(*scale, *seed, *days, *queries)
+	if err != nil {
+		return err
+	}
+	opts := adserver.Options{
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("adserver: listen %s: %w", *addr, err)
+	}
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		stop = sig
+	}
+
+	// The gate answers /healthz (and 503s everything else) from the
+	// first instant; the real handler swaps in after bootstrap.
+	gate := adserver.NewGate()
+	hs := &http.Server{
+		Handler:           gate,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      20 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- adserver.Serve(hs, ln, gate, *grace, stop, log.Printf) }()
+
+	fmt.Fprintf(stderr, "listening on %s; bootstrapping advertiser population (%s scale)...\n", ln.Addr(), *scale)
+	srv, err := bootstrap(cfg, *seed, stderr)
+	if err != nil {
+		hs.Close()
+		<-serveErr
+		return err
+	}
+	gate.Install(srv.Handler(opts))
+	fmt.Fprintf(stderr, "ready: serving %s on %s (max-inflight=%d request-timeout=%s grace=%s)\n",
+		srv, ln.Addr(), opts.MaxInFlight, opts.RequestTimeout, *grace)
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	return <-serveErr
+}
+
+// simConfig maps the scale flags onto a bootstrap simulation config.
+func simConfig(scale string, seed uint64, days, queries int) (sim.Config, error) {
+	var cfg sim.Config
+	switch scale {
+	case "small":
+		cfg = sim.SmallConfig()
+	case "medium":
+		cfg = sim.MediumConfig()
+	default:
+		return sim.Config{}, fmt.Errorf("adserver: unknown scale %q", scale)
+	}
+	cfg.Seed = seed
+	if days > 0 {
+		cfg.Days = simclock.Day(days)
+	}
+	if queries > 0 {
+		cfg.QueriesPerDay = queries
+	}
+	cfg.FullCreatives = true // serve real ad copy
+	return cfg, nil
+}
+
+// bootstrap runs the advertiser-population simulation and freezes the
+// result into a serveable Server.
+func bootstrap(cfg sim.Config, seed uint64, stderr io.Writer) (*adserver.Server, error) {
+	s := sim.New(cfg)
+	res := s.Run()
+	fmt.Fprintf(stderr, "simulated %d accounts, %d live ads in %s\n",
+		res.Platform.NumAccounts(), res.Platform.LiveAds(), res.Elapsed.Round(1e7))
+	return adserver.New(res.Platform, s.Queries(), auction.DefaultConfig(), seed), nil
 }
 
 // setup parses flags and bootstraps the frozen platform, returning the
@@ -52,30 +161,14 @@ func setup(args []string, stderr io.Writer) (*adserver.Server, string, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
-
-	var cfg sim.Config
-	switch *scale {
-	case "small":
-		cfg = sim.SmallConfig()
-	case "medium":
-		cfg = sim.MediumConfig()
-	default:
-		return nil, "", fmt.Errorf("adserver: unknown scale %q", *scale)
+	cfg, err := simConfig(*scale, *seed, *days, *queries)
+	if err != nil {
+		return nil, "", err
 	}
-	cfg.Seed = *seed
-	if *days > 0 {
-		cfg.Days = simclock.Day(*days)
-	}
-	if *queries > 0 {
-		cfg.QueriesPerDay = *queries
-	}
-	cfg.FullCreatives = true // serve real ad copy
-
 	fmt.Fprintf(stderr, "bootstrapping advertiser population (%s scale)...\n", *scale)
-	s := sim.New(cfg)
-	res := s.Run()
-	fmt.Fprintf(stderr, "simulated %d accounts, %d live ads in %s\n",
-		res.Platform.NumAccounts(), res.Platform.LiveAds(), res.Elapsed.Round(1e7))
-
-	return adserver.New(res.Platform, s.Queries(), auction.DefaultConfig(), *seed), *addr, nil
+	srv, err := bootstrap(cfg, *seed, stderr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, *addr, nil
 }

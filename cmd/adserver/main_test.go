@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestSetupServesSearchAndStats(t *testing.T) {
@@ -85,5 +90,70 @@ func TestSetupRejectsUnknownScale(t *testing.T) {
 	var errw strings.Builder
 	if _, _, err := setup([]string{"-scale", "galactic"}, &errw); err == nil {
 		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownScaleBeforeListening(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+// TestRunFullLifecycle exercises the production entry point end to end:
+// bind, bootstrap, readiness flip, live traffic, SIGTERM drain.
+func TestRunFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstraps a simulation")
+	}
+	stop := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-scale", "small", "-seed", "7",
+			"-days", "60", "-queries", "500", "-grace", "5s",
+		}, io.Discard, stop, func(a net.Addr) { ready <- a })
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(3 * time.Minute):
+		t.Fatal("bootstrap did not complete")
+	}
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after bootstrap: %d", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+	if code := get("/search?q=free+download&country=US"); code != http.StatusOK {
+		t.Errorf("search: %d", code)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error on drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain and exit after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
 	}
 }

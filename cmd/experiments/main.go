@@ -82,18 +82,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
+	// Validate experiment IDs before the simulation runs: a typo must
+	// fail in milliseconds, not after minutes of simulated traffic.
+	wanted, err := parseRunIDs(*runIDs)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(stderr, "simulating %d days at %d queries/day...\n", cfg.Days, cfg.QueriesPerDay)
 	res := sim.New(cfg).Run()
 	fmt.Fprintf(stderr, "done in %s; building subsets...\n", res.Elapsed.Round(1e7))
 	env := report.NewEnv(res, *subset, *seed^0x5eed)
-
-	var wanted map[string]bool
-	if *runIDs != "" {
-		wanted = map[string]bool{}
-		for _, id := range strings.Split(*runIDs, ",") {
-			wanted[strings.TrimSpace(id)] = true
-		}
-	}
 	var outputs []*report.Output
 	for _, e := range report.All() {
 		if wanted != nil && !wanted[e.ID] {
@@ -102,9 +101,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out := e.Run(env)
 		fmt.Fprintln(stdout, out.String())
 		outputs = append(outputs, out)
-	}
-	if len(outputs) == 0 {
-		return fmt.Errorf("experiments: nothing matched -run; use -list to see IDs")
 	}
 	if *md != "" {
 		if err := writeMarkdown(*md, cfg, res, outputs); err != nil {
@@ -120,6 +116,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "%d SVG figures written to %s\n", n, *svg)
 	}
 	return nil
+}
+
+// parseRunIDs validates a comma-separated -run list against the
+// experiment registry up front. A nil map means "run everything".
+func parseRunIDs(runIDs string) (map[string]bool, error) {
+	if runIDs == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, e := range report.All() {
+		valid[e.ID] = true
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(runIDs, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !valid[id] {
+			return nil, fmt.Errorf("experiments: unknown experiment ID %q; use -list to see IDs", id)
+		}
+		wanted[id] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("experiments: -run given but no IDs parsed; use -list to see IDs")
+	}
+	return wanted, nil
 }
 
 // writeSVGs dumps every rendered figure document to dir.

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunList(t *testing.T) {
@@ -61,5 +62,29 @@ func TestRunRejectsUnknownScaleAndIDs(t *testing.T) {
 	var out, errw strings.Builder
 	if err := run([]string{"-scale", "galactic"}, &out, &errw); err == nil {
 		t.Fatal("unknown scale accepted")
+	}
+}
+
+// Unknown -run IDs must fail before the simulation starts — at full
+// scale a post-sim error wastes ~10 minutes.
+func TestRunValidatesExperimentIDsUpFront(t *testing.T) {
+	start := time.Now()
+	var out, errw strings.Builder
+	err := run([]string{"-run", "fig2,bogus"}, &out, &errw)
+	if err == nil {
+		t.Fatal("unknown experiment ID accepted")
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("error does not name the bad ID: %v", err)
+	}
+	if strings.Contains(errw.String(), "simulating") {
+		t.Error("simulation started before ID validation")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("validation took %s — it ran the simulation first", elapsed)
+	}
+
+	if err := run([]string{"-run", " , "}, &out, &errw); err == nil {
+		t.Fatal("empty -run list accepted")
 	}
 }

@@ -18,7 +18,7 @@ import (
 
 // serverFixture builds a frozen platform with a few advertisers bidding on
 // the downloads vertical's head keyword and wraps it in a Server.
-func serverFixture(t *testing.T) (*Server, *queries.Generator) {
+func serverFixture(t testing.TB) (*Server, *queries.Generator) {
 	t.Helper()
 	p := platform.New()
 	gen := queries.NewGenerator(stats.NewRNG(1))

@@ -1,0 +1,63 @@
+package adserver
+
+// Fuzz target for the query-resolution path: Resolve sits directly on
+// untrusted input (the q parameter of /search), so it must never panic,
+// must be deterministic, and must only ever return well-formed keyword
+// references. Seed corpus lives under testdata/fuzz/FuzzResolve/;
+// `make fuzz-smoke` runs a short exploration burst.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func FuzzResolve(f *testing.F) {
+	s, gen := serverFixture(f)
+	s2, _ := serverFixture(f) // independent instance for determinism checks
+
+	f.Add("free download")
+	f.Add("best free download now")
+	f.Add("download totally free")
+	f.Add("")
+	f.Add("   ")
+	f.Add("zzz qqq xxx")
+	f.Add("FREE   DOWNLOAD!!!")
+	f.Add("frée döwnload — now")
+	f.Add("download download download download download download")
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	f.Fuzz(func(t *testing.T, q string) {
+		ref, form, ok := s.Resolve(q)
+		ref2, form2, ok2 := s2.Resolve(q)
+		if ok != ok2 || form != form2 || ref != ref2 {
+			t.Fatalf("resolution not deterministic for %q: (%+v,%v,%v) vs (%+v,%v,%v)",
+				q, ref, form, ok, ref2, form2, ok2)
+		}
+		if !ok {
+			return
+		}
+		switch form {
+		case platform.FormBare, platform.FormExtended, platform.FormReordered:
+		default:
+			t.Fatalf("resolved %q to invalid form %v", q, form)
+		}
+		u := gen.Universe(ref.verticalIdx)
+		if ref.keywordID < 0 || ref.keywordID >= u.Size() {
+			t.Fatalf("resolved %q to out-of-range keyword %d (universe %d)", q, ref.keywordID, u.Size())
+		}
+		if u.Vertical != ref.vertical {
+			t.Fatalf("resolved %q to mismatched vertical %q (universe %q)", q, ref.vertical, u.Vertical)
+		}
+
+		// A canceled context must abort cleanly (ok=false or the exact
+		// same answer), never panic. Exact-match hits return before the
+		// scan, so both outcomes are legal.
+		if _, _, cok, err := s.resolve(canceled, q); cok && err != nil {
+			t.Fatalf("canceled resolve returned both ok and error for %q", q)
+		}
+	})
+}

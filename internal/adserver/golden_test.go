@@ -1,0 +1,90 @@
+package adserver
+
+// Golden snapshot of the adserver HTTP surface: a frozen small-scale
+// platform fixture served a fixed query list, with every response
+// (status, request ID, JSON body) pinned byte-for-byte via
+// internal/testutil. Click rolls are a pure function of (seed, query,
+// country) and request IDs are sequential per handler, so sequential
+// replay is exactly reproducible. Regenerate deliberately with
+// `make golden` after an intentional serving-behavior change.
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// goldenQueries exercises every resolution outcome: bare, extended,
+// reordered, no-match, untargeted market, missing parameter, and the
+// stats counters after all of the above.
+var goldenQueries = []struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}{
+	{"bare", "/search?q=" + url.QueryEscape("free download") + "&country=US"},
+	{"extended", "/search?q=" + url.QueryEscape("best free download now") + "&country=US"},
+	{"reordered", "/search?q=" + url.QueryEscape("download totally free") + "&country=US"},
+	{"no-match", "/search?q=" + url.QueryEscape("zzz qqq xxx") + "&country=US"},
+	{"wrong-market", "/search?q=" + url.QueryEscape("free download") + "&country=DE"},
+	{"missing-q", "/search"},
+	{"repeat-bare", "/search?q=" + url.QueryEscape("free download") + "&country=US"},
+	{"healthz", "/healthz"},
+	{"readyz", "/readyz"},
+	{"stats", "/stats"},
+}
+
+type goldenExchange struct {
+	Name      string          `json:"name"`
+	Path      string          `json:"path"`
+	Status    int             `json:"status"`
+	RequestID string          `json:"requestId"`
+	Body      json.RawMessage `json:"body"`
+}
+
+func TestGoldenHTTPResponses(t *testing.T) {
+	s, _ := serverFixture(t)
+	h := s.Handler(Options{MaxInFlight: 8, RequestTimeout: 5 * time.Second})
+
+	var exchanges []goldenExchange
+	for _, q := range goldenQueries {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", q.Path, nil))
+		exchanges = append(exchanges, goldenExchange{
+			Name:      q.Name,
+			Path:      q.Path,
+			Status:    rec.Code,
+			RequestID: rec.Header().Get("X-Request-ID"),
+			Body:      json.RawMessage(rec.Body.Bytes()),
+		})
+	}
+	testutil.GoldenJSON(t, "testdata/golden_responses.json", exchanges)
+}
+
+// TestGoldenResponsesOrderInsensitive proves the property the snapshot
+// relies on: identical requests produce byte-identical bodies no matter
+// when they run — the repeat-bare exchange must equal the bare one.
+func TestGoldenResponsesOrderInsensitive(t *testing.T) {
+	s, _ := serverFixture(t)
+	h := s.Handler(Options{MaxInFlight: 8, RequestTimeout: 5 * time.Second})
+	path := "/search?q=" + url.QueryEscape("free download") + "&country=US"
+
+	get := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Body.String()
+	}
+	first := get()
+	// Interleave unrelated traffic, then repeat: the body must not move.
+	for _, p := range []string{"/search?q=zzz", "/stats", path, "/search?q=" + url.QueryEscape("download totally free")} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+	}
+	if again := get(); again != first {
+		t.Fatalf("identical request produced different body after interleaved traffic:\n%s",
+			testutil.Diff(first, again))
+	}
+}

@@ -6,16 +6,29 @@
 // The server operates over a read-only snapshot of a simulated platform
 // (accounts frozen, index immutable), so request handling is lock-free
 // and safe for arbitrary concurrency; per-request auction scratch comes
-// from a sync.Pool.
+// from a sync.Pool. Click rolls are a pure function of (server seed,
+// query, country), so identical requests produce identical responses
+// regardless of request order or concurrency — the property the golden
+// response snapshot pins.
+//
+// Handler composes the production resilience stack around the raw
+// routes: request-ID tagging, panic recovery, admission control with
+// load shedding, and per-request deadlines (see middleware.go), with an
+// optional fault-injection hook for chaos testing (see
+// internal/faultinject). Gate and Serve (lifecycle.go) cover the
+// process lifecycle: health/readiness during bootstrap and draining
+// shutdown.
 package adserver
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adcopy"
 	"repro/internal/auction"
@@ -40,7 +53,7 @@ type Server struct {
 	cfg  auction.Config
 	gen  *queries.Generator
 	mux  *http.ServeMux
-	rngs sync.Pool // *stats.RNG for click rolls
+	seed uint64
 	scr  sync.Pool // *auction.Scratch
 
 	// exact maps a canonical keyword phrase to its reference; tokens is
@@ -48,9 +61,12 @@ type Server struct {
 	exact  map[string]kwRef
 	tokens map[string][]kwRef
 
-	served  atomic.Int64
-	clicks  atomic.Int64
-	noMatch atomic.Int64
+	served   atomic.Int64
+	clicks   atomic.Int64
+	noMatch  atomic.Int64
+	shed     atomic.Int64
+	panics   atomic.Int64
+	timeouts atomic.Int64
 }
 
 // New builds a server over a frozen platform snapshot. The query
@@ -60,12 +76,9 @@ func New(p *platform.Platform, gen *queries.Generator, cfg auction.Config, seed 
 		p:      p,
 		cfg:    cfg,
 		gen:    gen,
+		seed:   seed,
 		exact:  make(map[string]kwRef),
 		tokens: make(map[string][]kwRef),
-	}
-	var seedCounter atomic.Uint64
-	s.rngs.New = func() interface{} {
-		return stats.NewRNG(seed ^ (0x9e37_79b9*seedCounter.Add(1) + 1))
 	}
 	s.scr.New = func() interface{} { return &auction.Scratch{} }
 
@@ -90,30 +103,105 @@ func New(p *platform.Platform, gen *queries.Generator, cfg auction.Config, seed 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler with the bare routes (no resilience
+// stack); production callers should mount Handler instead.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Options configures the resilience stack Handler builds around the
+// serving routes.
+type Options struct {
+	// MaxInFlight bounds concurrently-running /search requests;
+	// requests beyond the bound are shed with 429 + Retry-After.
+	// <= 0 disables admission control.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline for /search; the
+	// handler returns a structured 504 once exceeded. <= 0 disables it.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint on shed responses (rounded up to
+	// whole seconds for the header). Defaults to 1s when zero.
+	RetryAfter time.Duration
+	// Wrap, when non-nil, wraps each route's handler — the mount point
+	// for the fault-injection chaos layer in test builds. It is applied
+	// inside admission control and the deadline, so injected latency
+	// holds an in-flight slot and consumes the request budget, and
+	// injected panics unwind through the recovery middleware.
+	Wrap func(route string, h http.Handler) http.Handler
+}
+
+// DefaultOptions is the production stack configuration.
+func DefaultOptions() Options {
+	return Options{MaxInFlight: 256, RequestTimeout: 2 * time.Second, RetryAfter: time.Second}
+}
+
+// Handler composes the resilience middleware stack around the serving
+// routes. Health and readiness probes bypass admission control and
+// deadlines so they stay accurate under overload.
+func (s *Server) Handler(opts Options) http.Handler {
+	wrap := opts.Wrap
+	if wrap == nil {
+		wrap = func(_ string, h http.Handler) http.Handler { return h }
+	}
+	retryAfter := opts.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+
+	var searchMW []Middleware
+	if opts.MaxInFlight > 0 {
+		searchMW = append(searchMW, Admission(opts.MaxInFlight, retryAfter, func() { s.shed.Add(1) }))
+	}
+	if opts.RequestTimeout > 0 {
+		searchMW = append(searchMW, Deadline(opts.RequestTimeout))
+	}
+
+	m := http.NewServeMux()
+	m.Handle("/search", Chain(wrap("/search", http.HandlerFunc(s.handleSearch)), searchMW...))
+	m.Handle("/stats", wrap("/stats", http.HandlerFunc(s.handleStats)))
+	m.HandleFunc("/healthz", s.handleHealth)
+	m.HandleFunc("/readyz", s.handleReady)
+
+	return Chain(m, RequestID(), Recover(func(interface{}) { s.panics.Add(1) }))
+}
 
 // Resolve maps free query text to a keyword reference and the query form
 // (bare / extended / reordered), mirroring the matcher's normalization.
 func (s *Server) Resolve(q string) (kwRef, platform.QueryForm, bool) {
+	ref, form, ok, _ := s.resolve(context.Background(), q)
+	return ref, form, ok
+}
+
+// resolveCheckEvery bounds how many candidate comparisons run between
+// context checks during fuzzy resolution.
+const resolveCheckEvery = 256
+
+// resolve is Resolve with a context: long fuzzy scans check the request
+// deadline every resolveCheckEvery candidates and abort with ctx.Err().
+func (s *Server) resolve(ctx context.Context, q string) (kwRef, platform.QueryForm, bool, error) {
 	toks := adcopy.Tokenize(q)
 	if len(toks) == 0 {
-		return kwRef{}, 0, false
+		return kwRef{}, 0, false, nil
 	}
 	key := strings.Join(toks, " ")
 	if ref, ok := s.exact[key]; ok {
-		return ref, platform.FormBare, true
+		return ref, platform.FormBare, true, nil
 	}
 	// Extended: some keyword's token sequence appears in order within the
 	// query. Try candidates sharing the rarest token.
 	best, bestLen := kwRef{}, 0
 	form := platform.FormReordered
+	scanned := 0
 	for _, t := range toks {
 		for _, ref := range s.tokens[t] {
+			if scanned++; scanned%resolveCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return kwRef{}, 0, false, err
+				}
+			}
 			ktoks := s.gen.Universe(ref.verticalIdx).Keywords[ref.keywordID].Tokens
 			if len(ktoks) <= bestLen {
 				continue
@@ -126,9 +214,9 @@ func (s *Server) Resolve(q string) (kwRef, platform.QueryForm, bool) {
 		}
 	}
 	if bestLen > 0 {
-		return best, form, true
+		return best, form, true, nil
 	}
-	return kwRef{}, 0, false
+	return kwRef{}, 0, false, nil
 }
 
 // containsInOrder reports whether needle appears as a contiguous
@@ -189,20 +277,48 @@ type SearchResponse struct {
 	Ads      []AdResponse `json:"ads"`
 }
 
+// clickRNG derives the per-request click-roll generator. The stream is a
+// pure function of (server seed, query text, country): identical
+// requests always roll identical clicks, making responses
+// order-insensitive and golden-pinnable under arbitrary concurrency.
+func (s *Server) clickRNG(q string, country market.Country) *stats.RNG {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(q); i++ {
+		h ^= uint64(q[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(0xff)
+	h *= 1099511628211
+	for i := 0; i < len(country); i++ {
+		h ^= uint64(country[i])
+		h *= 1099511628211
+	}
+	return stats.NewRNG(s.seed ^ h)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, "missing_query", "missing q parameter", 0)
 		return
 	}
 	country := market.Country(r.URL.Query().Get("country"))
 	if country == "" {
 		country = market.US
 	}
-	ref, form, ok := s.Resolve(q)
+	ref, form, ok, err := s.resolve(ctx, q)
+	if err != nil {
+		s.writeTimeout(w, r, "resolve")
+		return
+	}
 	if !ok {
 		s.noMatch.Add(1)
 		writeJSON(w, SearchResponse{Query: q, Country: string(country)})
+		return
+	}
+	if ctx.Err() != nil {
+		s.writeTimeout(w, r, "admission")
 		return
 	}
 	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
@@ -210,8 +326,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	scr := s.scr.Get().(*auction.Scratch)
 	res := auction.RunInto(s.cfg, eligible, form, scr)
+	if ctx.Err() != nil {
+		s.scr.Put(scr)
+		s.writeTimeout(w, r, "auction")
+		return
+	}
 
-	rng := s.rngs.Get().(*stats.RNG)
+	rng := s.clickRNG(q, country)
 	resp := SearchResponse{
 		Query:    q,
 		Vertical: string(ref.vertical),
@@ -236,14 +357,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Clicked:    clicked,
 		})
 	}
-	s.rngs.Put(rng)
 	s.scr.Put(scr)
 	s.served.Add(1)
 	writeJSON(w, resp)
 }
 
+// writeTimeout records and reports an exhausted per-request deadline.
+func (s *Server) writeTimeout(w http.ResponseWriter, r *http.Request, stage string) {
+	s.timeouts.Add(1)
+	writeError(w, r, http.StatusGatewayTimeout, "deadline_exceeded",
+		fmt.Sprintf("request deadline exceeded during %s", stage), 0)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReady reports readiness for a standalone server: once the Server
+// exists its platform snapshot is frozen and serveable, so this is
+// always ready. During bootstrap and draining the Gate intercepts
+// /readyz before it reaches here (see lifecycle.go).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 // Stats is the /stats reply.
@@ -251,6 +386,9 @@ type Stats struct {
 	Served    int64 `json:"served"`
 	Clicks    int64 `json:"clicks"`
 	NoMatch   int64 `json:"noMatch"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics"`
+	Timeouts  int64 `json:"timeouts"`
 	Accounts  int   `json:"accounts"`
 	LiveAds   int   `json:"liveAds"`
 	IndexBids int   `json:"indexBids"`
@@ -261,6 +399,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Served:    s.served.Load(),
 		Clicks:    s.clicks.Load(),
 		NoMatch:   s.noMatch.Load(),
+		Shed:      s.shed.Load(),
+		Panics:    s.panics.Load(),
+		Timeouts:  s.timeouts.Load(),
 		Accounts:  s.p.NumAccounts(),
 		LiveAds:   s.p.LiveAds(),
 		IndexBids: s.p.Index().Len(),
@@ -269,6 +410,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching headers, for callers that
+// have already set a non-200 status.
+func writeJSONBody(w http.ResponseWriter, v interface{}) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Connection-level failure; nothing sensible to do but record it
 		// in the response state (headers are already out).
