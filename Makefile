@@ -24,17 +24,18 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject
 
-# verify is the full pre-merge gate: static checks, build, and the whole
+# verify is the full pre-merge gate: static checks, build, the whole
 # suite (goldens, determinism, invariants, smoke tests, chaos) under the
-# race detector.
-verify: vet build race chaos
+# race detector, and a short corpus-plus-exploration pass over every
+# fuzz target.
+verify: vet build race chaos fuzz-smoke
 
 # golden regenerates every golden fixture (sim digests, per-experiment
 # report outputs, the façade quickstart). Only the packages that define
 # the -update-golden flag are targeted; see internal/testutil/README.md
 # for when regeneration is legitimate.
 golden:
-	$(GO) test . ./internal/sim ./internal/report ./internal/adserver -run 'Golden' -update-golden
+	$(GO) test . ./internal/sim ./internal/report ./internal/adserver ./cmd/experiments -run 'Golden' -update-golden
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -48,3 +49,5 @@ fuzz-smoke:
 	$(GO) test ./internal/adcopy -run '^$$' -fuzz FuzzObfuscatePhone -fuzztime 5s
 	$(GO) test ./internal/queries -run '^$$' -fuzz FuzzGeneratorSeed -fuzztime 5s
 	$(GO) test ./internal/adserver -run '^$$' -fuzz FuzzResolve -fuzztime 5s
+	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s
+	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzReadLog -fuzztime 5s

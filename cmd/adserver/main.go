@@ -12,6 +12,7 @@
 //
 //	adserver [-addr :8406] [-scale small|medium] [-seed N] [-days N]
 //	         [-max-inflight N] [-request-timeout D] [-grace D]
+//	         [-eventlog DIR] [-eventlog-queue N]
 //
 // Then:
 //
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/adserver"
 	"repro/internal/auction"
+	"repro/internal/eventlog"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 )
@@ -61,6 +63,8 @@ func run(args []string, stderr io.Writer, stop <-chan os.Signal, onReady func(ne
 	maxInflight := fs.Int("max-inflight", 256, "max concurrent /search requests before shedding with 429 (0 = unlimited)")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Second, "per-request deadline for /search (0 = none)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain grace period")
+	evDir := fs.String("eventlog", "", "record served impressions as an event log in this directory (empty = off)")
+	evQueue := fs.Int("eventlog-queue", 4096, "event recording queue depth; events beyond it are dropped, never queued on the request path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +109,26 @@ func run(args []string, stderr io.Writer, stop <-chan os.Signal, onReady func(ne
 		hs.Close()
 		<-serveErr
 		return err
+	}
+	if *evDir != "" {
+		dw, err := eventlog.NewDirWriter(*evDir)
+		if err != nil {
+			hs.Close()
+			<-serveErr
+			return err
+		}
+		async := eventlog.NewAsync(dw, *evQueue)
+		srv.RecordEvents(async)
+		defer func() {
+			async.Close()
+			if err := dw.Close(); err != nil {
+				fmt.Fprintf(stderr, "eventlog: %v (%d events dropped)\n", err, dw.Dropped())
+			} else {
+				fmt.Fprintf(stderr, "eventlog: %d events (%d bytes) in %s; %d dropped under pressure\n",
+					dw.Events(), dw.Bytes(), *evDir, async.Dropped())
+			}
+		}()
+		fmt.Fprintf(stderr, "recording impression events to %s (queue=%d)\n", *evDir, *evQueue)
 	}
 	gate.Install(srv.Handler(opts))
 	fmt.Fprintf(stderr, "ready: serving %s on %s (max-inflight=%d request-timeout=%s grace=%s)\n",

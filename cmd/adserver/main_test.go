@@ -7,10 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/eventlog"
 )
 
 func TestSetupServesSearchAndStats(t *testing.T) {
@@ -100,11 +103,13 @@ func TestRunRejectsUnknownScaleBeforeListening(t *testing.T) {
 }
 
 // TestRunFullLifecycle exercises the production entry point end to end:
-// bind, bootstrap, readiness flip, live traffic, SIGTERM drain.
+// bind, bootstrap, readiness flip, live traffic with impression-event
+// recording, SIGTERM drain, and a readable event log left on disk.
 func TestRunFullLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bootstraps a simulation")
 	}
+	evDir := filepath.Join(t.TempDir(), "events")
 	stop := make(chan os.Signal, 1)
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
@@ -112,6 +117,7 @@ func TestRunFullLifecycle(t *testing.T) {
 		done <- run([]string{
 			"-addr", "127.0.0.1:0", "-scale", "small", "-seed", "7",
 			"-days", "60", "-queries", "500", "-grace", "5s",
+			"-eventlog", evDir,
 		}, io.Discard, stop, func(a net.Addr) { ready <- a })
 	}()
 
@@ -155,5 +161,22 @@ func TestRunFullLifecycle(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("server still accepting connections after shutdown")
+	}
+
+	// The served impressions were recorded and survive as a readable log.
+	impressions := 0
+	err := eventlog.ScanDir(evDir, eventlog.Filter{Types: eventlog.TypeMask(eventlog.TypeImpression)},
+		func(ev *eventlog.Event) error {
+			impressions++
+			if ev.Country != "US" || ev.Position < 1 {
+				t.Errorf("malformed impression record: %+v", ev)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("scan event log: %v", err)
+	}
+	if impressions == 0 {
+		t.Error("no impression events recorded")
 	}
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// elapsedRE matches the wall-clock spans embedded in the report header —
+// the only nondeterministic bytes in an -md report.
+var elapsedRE = regexp.MustCompile(`elapsed \S+`)
+
+// TestGoldenMarkdownReport pins the complete `experiments -md` report for
+// the canonical small run: every table, figure and metric block, with
+// wall-clock spans normalized. Any change to an experiment's rows,
+// series, or markdown rendering shows up as a diff against the fixture;
+// regenerate deliberately with `make golden`.
+func TestGoldenMarkdownReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	md := filepath.Join(t.TempDir(), "report.md")
+	err := run([]string{
+		"-scale", "small", "-seed", "7", "-subset", "500",
+		"-days", "120", "-queries", "800", "-regs", "10",
+		"-md", md,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = elapsedRE.ReplaceAll(got, []byte("elapsed X."))
+	testutil.Golden(t, filepath.Join("testdata", "report_small.golden.md"), got)
+}

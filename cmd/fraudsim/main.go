@@ -5,7 +5,7 @@
 // Usage:
 //
 //	fraudsim [-scale small|medium|full] [-seed N] [-days N]
-//	         [-queries N] [-regs F] [-v]
+//	         [-queries N] [-regs F] [-v] [-export DIR] [-eventlog DIR]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/eventlog"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 )
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
 	verbose := fs.Bool("v", false, "print progress every 30 simulated days")
 	export := fs.String("export", "", "directory to write the three datasets as JSON lines")
+	evDir := fs.String("eventlog", "", "directory to write the run's append-only event log (inspect with logtool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,8 +62,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
+	var dw *eventlog.DirWriter
+	if *evDir != "" {
+		dw, err = eventlog.NewDirWriter(*evDir)
+		if err != nil {
+			return err
+		}
+		cfg.Events = dw
+	}
+
 	res := sim.New(cfg).Run()
 	printSummary(stdout, res)
+
+	if dw != nil {
+		if err := dw.Close(); err != nil {
+			return fmt.Errorf("fraudsim: event log: %w", err)
+		}
+		fmt.Fprintf(stdout, "event log written to %s (%d events, %d bytes)\n",
+			*evDir, dw.Events(), dw.Bytes())
+	}
 
 	if *export != "" {
 		if err := exportDatasets(*export, res); err != nil {

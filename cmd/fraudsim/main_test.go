@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/eventlog"
 )
 
 func TestRunSummaryAndExport(t *testing.T) {
@@ -12,18 +14,19 @@ func TestRunSummaryAndExport(t *testing.T) {
 		t.Skip("runs a simulation")
 	}
 	dir := t.TempDir()
+	evDir := filepath.Join(t.TempDir(), "events")
 	var out, errw strings.Builder
 	err := run([]string{
 		"-scale", "small", "-seed", "7",
 		"-days", "60", "-queries", "500", "-regs", "8",
-		"-export", dir,
+		"-export", dir, "-eventlog", evDir,
 	}, &out, &errw)
 	if err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
 	}
 	for _, want := range []string{
 		"simulated 60 days", "registrations", "clicks billed", "shutdowns by stage:",
-		"datasets written to",
+		"datasets written to", "event log written to",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("summary missing %q:\n%s", want, out.String())
@@ -37,6 +40,23 @@ func TestRunSummaryAndExport(t *testing.T) {
 		if len(b) == 0 {
 			t.Errorf("export %s is empty", name)
 		}
+	}
+
+	// The event log on disk replays into the same three analytics streams.
+	var impressions, detections int
+	if err := eventlog.ScanDir(evDir, eventlog.Filter{}, func(ev *eventlog.Event) error {
+		switch ev.Type {
+		case eventlog.TypeImpression:
+			impressions++
+		case eventlog.TypeDetection:
+			detections++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("scan event log: %v", err)
+	}
+	if impressions == 0 || detections == 0 {
+		t.Errorf("event log missing record types: %d impressions, %d detections", impressions, detections)
 	}
 }
 

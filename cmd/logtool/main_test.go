@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// writeSampleLog writes a small two-segment log and returns its
+// directory. 30 impressions across days 0..9, one account record, one
+// detection.
+func writeSampleLog(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "events")
+	dw, err := eventlog.NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.SegmentBytes = 128 // force rotation
+	dw.Append(eventlog.Event{
+		Type: eventlog.TypeAccountCreated, Day: -3, Account: 1, At: -2.7,
+		Country: "US", Vertical: 2, Flags: eventlog.FlagFraud,
+	})
+	for i := 0; i < 30; i++ {
+		ev := eventlog.Event{
+			Type: eventlog.TypeImpression, Day: int32(i % 10), Account: 1,
+			Country: "US", Vertical: 2, Position: int32(i%3 + 1),
+		}
+		if i%5 == 0 {
+			ev.Flags = eventlog.FlagClicked
+			ev.Amount = 0.75
+		}
+		dw.Append(ev)
+	}
+	dw.Append(eventlog.Event{
+		Type: eventlog.TypeDetection, Day: 9, Account: 1, At: 9.5,
+		Stage: 1, Reason: "registration screening",
+	})
+	if err := dw.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+	segs, err := eventlog.Segments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want a multi-segment log, got %v (%v)", segs, err)
+	}
+	return dir
+}
+
+func TestStatReportsCountsAndRange(t *testing.T) {
+	dir := writeSampleLog(t)
+	var out, errw strings.Builder
+	if err := run([]string{"stat", dir}, &out, &errw); err != nil {
+		t.Fatalf("stat: %v (stderr: %s)", err, errw.String())
+	}
+	for _, want := range []string{
+		"events    32", "days      -3..9",
+		"account-created", "impression", "detection",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stat output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "bid-placed") {
+		t.Errorf("stat lists a type with zero records:\n%s", out.String())
+	}
+}
+
+func TestCatJSONWithFilters(t *testing.T) {
+	dir := writeSampleLog(t)
+	var out, errw strings.Builder
+	err := run([]string{"cat", "-json", "-type", "impression", "-from", "2", "-to", "4", dir}, &out, &errw)
+	if err != nil {
+		t.Fatalf("cat: %v (stderr: %s)", err, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 { // days 2 and 3, three impressions each
+		t.Fatalf("got %d records, want 6:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		var rec struct {
+			Type    string `json:"type"`
+			Day     int32  `json:"day"`
+			Country string `json:"country"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rec.Type != "impression" || rec.Day < 2 || rec.Day >= 4 || rec.Country != "US" {
+			t.Errorf("record escaped the filter: %+v", rec)
+		}
+	}
+}
+
+func TestCatTextOutput(t *testing.T) {
+	dir := writeSampleLog(t)
+	var out, errw strings.Builder
+	if err := run([]string{"cat", "-type", "detection", dir}, &out, &errw); err != nil {
+		t.Fatalf("cat: %v", err)
+	}
+	got := strings.TrimSpace(out.String())
+	if !strings.Contains(got, "detection") || !strings.Contains(got, `"registration screening"`) {
+		t.Errorf("text output: %q", got)
+	}
+	if n := len(strings.Split(got, "\n")); n != 1 {
+		t.Errorf("got %d lines, want 1", n)
+	}
+}
+
+func TestVerifyCleanAndCorrupt(t *testing.T) {
+	dir := writeSampleLog(t)
+	var out, errw strings.Builder
+	if err := run([]string{"verify", dir}, &out, &errw); err != nil {
+		t.Fatalf("verify clean log: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "CORRUPT") {
+		t.Fatalf("clean log reported corrupt:\n%s", out.String())
+	}
+
+	// Flip one byte in the middle of the first segment: verify must name
+	// the damaged file, keep checking the rest, and fail overall.
+	segs, err := eventlog.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = run([]string{"verify", dir}, &out, &errw)
+	if err == nil {
+		t.Fatalf("verify accepted a corrupted segment:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "1 of") {
+		t.Errorf("error does not count damage: %v", err)
+	}
+	if !strings.Contains(out.String(), segs[0]+": CORRUPT") {
+		t.Errorf("damaged segment not named:\n%s", out.String())
+	}
+	// The untouched later segments still verify.
+	if !strings.Contains(out.String(), segs[1]+": ok") {
+		t.Errorf("intact segment not reported ok:\n%s", out.String())
+	}
+}
+
+func TestVerifyAcceptsSingleFile(t *testing.T) {
+	dir := writeSampleLog(t)
+	segs, err := eventlog.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if err := run([]string{"verify", segs[0]}, &out, &errw); err != nil {
+		t.Fatalf("verify single segment: %v", err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	dir := writeSampleLog(t)
+	var out, errw strings.Builder
+	cases := [][]string{
+		{},                           // no command
+		{"frobnicate", dir},          // unknown command
+		{"stat"},                     // no paths
+		{"stat", filepath.Join(dir, "missing")}, // nonexistent path
+		{"stat", t.TempDir()},        // directory without segments
+		{"cat", "-type", "nope", dir}, // unknown type name
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package repro
+
+// Event-log throughput benchmarks: the encode/append hot path the
+// simulator and adserver pay per record, and the replay path analytics
+// pay per log. Both report events/sec and bytes/event so an encoding
+// change that bloats records or slows framing is visible next to the
+// time/op numbers.
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+)
+
+var evlogBenchState struct {
+	once   sync.Once
+	events []eventlog.Event
+	log    []byte
+	cfg    sim.Config
+}
+
+// evlogBenchData captures one small run's event stream twice: as decoded
+// events (the Append workload) and as encoded log bytes (the Replay
+// workload).
+func evlogBenchData(b *testing.B) ([]eventlog.Event, []byte, sim.Config) {
+	b.Helper()
+	evlogBenchState.once.Do(func() {
+		cfg := sim.SmallConfig()
+		cfg.Seed = 7
+		cfg.Days = 60
+		cfg.QueriesPerDay = 1000
+		sink := &eventlog.SliceSink{}
+		cfg.Events = sink
+		if res := sim.New(cfg).Run(); res.Clicks == 0 {
+			panic("dead economy in eventlog benchmark dataset")
+		}
+		var buf bytes.Buffer
+		w := eventlog.NewWriter(&buf)
+		for _, ev := range sink.Events {
+			w.Append(ev)
+		}
+		if w.Err() != nil {
+			panic(w.Err())
+		}
+		evlogBenchState.events = sink.Events
+		evlogBenchState.log = buf.Bytes()
+		evlogBenchState.cfg = cfg
+	})
+	return evlogBenchState.events, evlogBenchState.log, evlogBenchState.cfg
+}
+
+// BenchmarkEventLogAppend measures encoding and framing one event on the
+// emission hot path (CRC, varint framing, string interning included).
+func BenchmarkEventLogAppend(b *testing.B) {
+	events, _, _ := evlogBenchData(b)
+	w := eventlog.NewWriter(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Append(events[i%len(events)])
+	}
+	b.StopTimer()
+	if w.Err() != nil {
+		b.Fatal(w.Err())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(w.Bytes())/float64(w.Events()), "bytes/event")
+}
+
+// BenchmarkEventLogReplay measures streaming a full run's log from
+// memory back into Collector aggregates (decode + fold per event).
+func BenchmarkEventLogReplay(b *testing.B) {
+	events, log, cfg := evlogBenchData(b)
+	b.SetBytes(int64(len(log)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := dataset.ReplayLog(bytes.NewReader(log), cfg.Windows, cfg.SampleWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if col.NumTracked() == 0 {
+			b.Fatal("replay produced an empty collector")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(events))/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(len(log))/float64(len(events)), "bytes/event")
+}

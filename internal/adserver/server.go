@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/adcopy"
 	"repro/internal/auction"
+	"repro/internal/eventlog"
 	"repro/internal/market"
 	"repro/internal/platform"
 	"repro/internal/queries"
@@ -60,6 +61,11 @@ type Server struct {
 	// an inverted token index for fuzzy resolution.
 	exact  map[string]kwRef
 	tokens map[string][]kwRef
+
+	// events, when non-nil, receives one impression record per served
+	// placement (see RecordEvents). Never on the error path: recording is
+	// strictly best-effort and must not influence a response.
+	events eventlog.Sink
 
 	served   atomic.Int64
 	clicks   atomic.Int64
@@ -107,6 +113,14 @@ func New(p *platform.Platform, gen *queries.Generator, cfg auction.Config, seed 
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
 }
+
+// RecordEvents attaches an impression-record sink. The sink must be
+// safe for concurrent Append (requests are served in parallel; wrap a
+// file-backed eventlog.Writer in eventlog.NewAsync) and must absorb its
+// own failures — the server never checks it, so a degraded sink costs
+// recording, never serving. Call before the server starts handling
+// traffic; nil disables recording.
+func (s *Server) RecordEvents(sink eventlog.Sink) { s.events = sink }
 
 // ServeHTTP implements http.Handler with the bare routes (no resilience
 // stack); production callers should mount Handler instead.
@@ -344,6 +358,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		clicked := rng.Bool(0.1 * pl.Ref.Ad.Quality * pl.Relevance)
 		if clicked {
 			s.clicks.Add(1)
+		}
+		if s.events != nil {
+			// Day 0 is the serving epoch: the snapshot is frozen, so live
+			// impressions have no simulated day. Fraud ground truth is a
+			// simulator-side label; serving-side records carry only what a
+			// real front end would log.
+			var flags uint8
+			if clicked {
+				flags |= eventlog.FlagClicked
+			}
+			amount := 0.0
+			if clicked {
+				amount = pl.Price
+			}
+			s.events.Append(eventlog.Event{
+				Type:     eventlog.TypeImpression,
+				Account:  int32(pl.Ref.Ad.Account),
+				Vertical: int32(ref.verticalIdx),
+				Country:  string(country),
+				Position: int32(pl.Position),
+				Match:    uint8(pl.Ref.Bid.Match),
+				Flags:    flags,
+				Amount:   amount,
+			})
 		}
 		resp.Ads = append(resp.Ads, AdResponse{
 			Position:   pl.Position,

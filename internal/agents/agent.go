@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/adcopy"
 	"repro/internal/dataset"
+	"repro/internal/eventlog"
 	"repro/internal/market"
 	"repro/internal/platform"
 	"repro/internal/simclock"
@@ -43,6 +44,12 @@ type Runtime struct {
 	// detectability flags are carried separately) and would dominate
 	// memory at millions of ads.
 	FullCreatives bool
+
+	// Events, when non-nil, receives one record per campaign action
+	// (ad/bid creations and modifications) alongside the collector's
+	// aggregate counters. Emission consumes no randomness, so attaching a
+	// sink never perturbs a seeded run.
+	Events eventlog.Sink
 }
 
 // NewRuntime constructs the agent runtime. universe resolves a vertical
@@ -156,10 +163,12 @@ func (r *Runtime) Step(a *Agent, day simclock.Day) int {
 			ad := acct.Ads[a.rng.Intn(len(acct.Ads))]
 			r.p.ModifyAd(ad, ad.Creative)
 			r.col.Campaign(day, a.Account, dataset.ActionAdModify, 1)
+			r.emit(eventlog.Event{Type: eventlog.TypeAdModified, Day: int32(day), Account: int32(a.Account)})
 			if len(ad.Bids) > 0 {
 				bid := ad.Bids[a.rng.Intn(len(ad.Bids))]
 				r.p.ModifyBid(ad, bid, bid.MaxBid*a.rng.Range(0.85, 1.2))
 				r.col.Campaign(day, a.Account, dataset.ActionKwModify, 1)
+				r.emit(eventlog.Event{Type: eventlog.TypeBidModified, Day: int32(day), Account: int32(a.Account)})
 			}
 		}
 	}
@@ -201,6 +210,10 @@ func (r *Runtime) createAd(a *Agent, day simclock.Day) bool {
 		return false
 	}
 	r.col.Campaign(day, a.Account, dataset.ActionAdCreate, 1)
+	// Events carry the loop day, not at.Day(): the clamp above can push a
+	// stamp across a day boundary, and the collector's campaign counters
+	// are keyed by the loop day.
+	r.emit(eventlog.Event{Type: eventlog.TypeAdCreated, Day: int32(day), Account: int32(a.Account), Vertical: int32(a.VerticalIdx)})
 
 	def := market.Get(a.Target).DefaultMaxBid
 	vinfo := r.vertInfoBid(a)
@@ -231,6 +244,7 @@ func (r *Runtime) createAd(a *Agent, day simclock.Day) bool {
 		if err := r.p.AddBid(ad, bid, at); err == nil {
 			r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
 			r.col.BidCreated(a.Account, match, maxBid/def)
+			r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(match), Amount: maxBid / def})
 		}
 		// Advertisers who use exact matching duplicate their head
 		// keywords across match types: the exact bid captures the bare
@@ -244,10 +258,18 @@ func (r *Runtime) createAd(a *Agent, day simclock.Day) bool {
 			if err := r.p.AddBid(ad, dup, at); err == nil {
 				r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
 				r.col.BidCreated(a.Account, platform.MatchExact, dup.MaxBid/def)
+				r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(platform.MatchExact), Amount: dup.MaxBid / def})
 			}
 		}
 	}
 	return true
+}
+
+// emit forwards a campaign event to the sink, if one is attached.
+func (r *Runtime) emit(ev eventlog.Event) {
+	if r.Events != nil {
+		r.Events.Append(ev)
+	}
 }
 
 // vertInfoBid returns the agent's vertical bid level.

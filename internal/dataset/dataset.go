@@ -222,6 +222,10 @@ func (c *Collector) agg(id platform.AccountID) *AccountAgg {
 	return c.accounts[id]
 }
 
+// NumTracked returns the size of the account aggregate table (one past
+// the highest account ID that ever produced a collected event).
+func (c *Collector) NumTracked() int { return len(c.accounts) }
+
 // Agg returns the account's aggregate record, or nil if it never produced
 // any collected event.
 func (c *Collector) Agg(id platform.AccountID) *AccountAgg {

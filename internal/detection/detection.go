@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/eventlog"
 	"repro/internal/market"
 	"repro/internal/platform"
 	"repro/internal/simclock"
@@ -214,6 +215,10 @@ type Pipeline struct {
 
 	// Shutdowns counts enforcement actions by stage (diagnostics).
 	Shutdowns map[dataset.DetectionStage]int
+
+	// Events, when non-nil, receives one record per enforcement action
+	// (the paper's fraud-detection records) alongside the collector's.
+	Events eventlog.Sink
 }
 
 // New constructs a pipeline. horizon is the total simulated span, used to
@@ -275,6 +280,7 @@ func (d *Pipeline) Screen(id platform.AccountID, det Detectability, at simclock.
 	when := simclock.Stamp(float64(at) + d.rng.Range(0.01, 0.6))
 	if err := d.p.Reject(id, when, "screening"); err == nil {
 		d.col.Detection(dataset.DetectionRecord{Account: id, At: when, Stage: dataset.StageScreening, Reason: "registration screening"})
+		d.emit(id, when, dataset.StageScreening, "registration screening")
 		d.Shutdowns[dataset.StageScreening]++
 	}
 	return false
@@ -440,6 +446,7 @@ func (d *Pipeline) EndOfDay(day simclock.Day) []platform.AccountID {
 		if due, stage := s.earliest(); due <= dayEnd {
 			if err := d.p.Shutdown(id, due, stage.String()); err == nil {
 				d.col.Detection(dataset.DetectionRecord{Account: id, At: due, Stage: stage, Reason: stage.String()})
+				d.emit(id, due, stage, stage.String())
 				d.Shutdowns[stage]++
 				shut = append(shut, id)
 			}
@@ -448,6 +455,21 @@ func (d *Pipeline) EndOfDay(day simclock.Day) []platform.AccountID {
 		}
 	}
 	return shut
+}
+
+// emit mirrors a collector detection record into the event sink.
+func (d *Pipeline) emit(id platform.AccountID, at simclock.Stamp, stage dataset.DetectionStage, reason string) {
+	if d.Events == nil {
+		return
+	}
+	d.Events.Append(eventlog.Event{
+		Type:    eventlog.TypeDetection,
+		Day:     int32(at.Day()),
+		Account: int32(id),
+		At:      float64(at),
+		Stage:   uint8(stage),
+		Reason:  reason,
+	})
 }
 
 // Monitored returns the number of accounts currently under monitoring.

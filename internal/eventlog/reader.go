@@ -1,0 +1,186 @@
+package eventlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// TypeMask builds a Filter.Types bitmask from event types.
+func TypeMask(types ...Type) uint64 {
+	var m uint64
+	for _, t := range types {
+		m |= 1 << uint(t)
+	}
+	return m
+}
+
+// Filter selects a subset of a log stream. The zero Filter matches
+// everything.
+type Filter struct {
+	// From..To is a half-open day window [From, To). When To <= From the
+	// window is unbounded.
+	From, To simclock.Day
+	// Types is a TypeMask of wanted event types; 0 means all.
+	Types uint64
+}
+
+// Match reports whether ev passes the filter.
+func (f Filter) Match(ev *Event) bool {
+	if f.Types != 0 && f.Types&(1<<uint(ev.Type)) == 0 {
+		return false
+	}
+	if f.To > f.From {
+		d := simclock.Day(ev.Day)
+		if d < f.From || d >= f.To {
+			return false
+		}
+	}
+	return true
+}
+
+// Reader streams events from one segment. Filtering happens after a
+// record is fully decoded — every record feeds the intern table whether
+// or not it matches, so filtered reads stay consistent.
+type Reader struct {
+	r      *bufio.Reader
+	dec    decoder
+	filter Filter
+	buf    []byte
+	frames uint64
+	offset int64
+	header bool
+}
+
+// NewReader returns a Reader over one segment stream.
+func NewReader(r io.Reader, filter Filter) *Reader {
+	return &Reader{r: bufio.NewReader(r), filter: filter}
+}
+
+// Frames is the number of frames decoded so far, filtered or not.
+func (r *Reader) Frames() uint64 { return r.frames }
+
+func (r *Reader) readHeader() error {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		if err == io.EOF {
+			// A zero-byte stream is an empty log, not a corrupt one.
+			return io.EOF
+		}
+		return fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != Magic {
+		return ErrBadMagic
+	}
+	r.offset = int64(len(Magic))
+	r.header = true
+	return nil
+}
+
+// next decodes the next frame into ev, ignoring the filter.
+func (r *Reader) next(ev *Event) error {
+	if !r.header {
+		if err := r.readHeader(); err != nil {
+			return err
+		}
+	}
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w at offset %d: %v", ErrTruncated, r.offset, err)
+	}
+	if size > MaxFrame {
+		return fmt.Errorf("%w: %d bytes at offset %d", ErrFrameTooLarge, size, r.offset)
+	}
+	if uint64(cap(r.buf)) < size+4 {
+		r.buf = make([]byte, size+4)
+	}
+	buf := r.buf[:size+4]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return fmt.Errorf("%w at offset %d: %v", ErrTruncated, r.offset, err)
+	}
+	payload := buf[:size]
+	want := binary.LittleEndian.Uint32(buf[size:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return fmt.Errorf("%w at offset %d", ErrCorrupt, r.offset)
+	}
+	if err := r.dec.decodeEvent(payload, ev); err != nil {
+		return fmt.Errorf("%w at offset %d", err, r.offset)
+	}
+	r.frames++
+	r.offset += int64(binary.PutUvarint(make([]byte, binary.MaxVarintLen64), size)) + int64(size) + 4
+	return nil
+}
+
+// Next decodes frames into ev until one matches the filter. It returns
+// io.EOF at a clean end of stream and a wrapped frame error on damage.
+func (r *Reader) Next(ev *Event) error {
+	for {
+		if err := r.next(ev); err != nil {
+			return err
+		}
+		if r.filter.Match(ev) {
+			return nil
+		}
+	}
+}
+
+// Segments lists a log directory's segment files in write order.
+func Segments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "events-*.evlog"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// ScanFiles streams every matching event from the given segment files,
+// in order, calling fn for each. It stops at the first frame error or
+// the first error returned by fn.
+func ScanFiles(paths []string, filter Filter, fn func(*Event) error) error {
+	var ev Event
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r := NewReader(f, filter)
+		for {
+			err := r.Next(&ev)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if err := fn(&ev); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanDir streams every matching event from a log directory.
+func ScanDir(dir string, filter Filter, fn func(*Event) error) error {
+	paths, err := Segments(dir)
+	if err != nil {
+		return err
+	}
+	return ScanFiles(paths, filter, fn)
+}

@@ -1,0 +1,110 @@
+package eventlog
+
+import "sync"
+
+// Sink consumes emitted events. Implementations absorb their own
+// failures (see Writer's sticky-error contract): emitters on the hot
+// path never branch on sink errors.
+type Sink interface {
+	Append(Event)
+}
+
+// NopSink discards every event. It is the default sink wired through
+// the simulator: a nil-checked no-op that keeps the non-logging path at
+// its previous cost.
+type NopSink struct{}
+
+func (NopSink) Append(Event) {}
+
+// SliceSink collects events in memory, for tests and small replays.
+type SliceSink struct {
+	Events []Event
+}
+
+func (s *SliceSink) Append(ev Event) { s.Events = append(s.Events, ev) }
+
+// Async decouples emitters from a slow or blocking destination sink: it
+// buffers events in a bounded channel drained by one goroutine, and
+// drops (rather than blocks) when the buffer is full. This is what
+// makes event recording safe on the adserver's request path — a wedged
+// log writer costs a request at most one non-blocking channel send.
+type Async struct {
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	mu      sync.Mutex
+	closed  bool
+	dropped uint64
+}
+
+// NewAsync starts a drain goroutine feeding dst from a buffer of the
+// given size.
+func NewAsync(dst Sink, buffer int) *Async {
+	if buffer < 1 {
+		buffer = 1
+	}
+	a := &Async{
+		ch:   make(chan Event, buffer),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		for {
+			select {
+			case ev := <-a.ch:
+				dst.Append(ev)
+			case <-a.quit:
+				// Drain whatever was buffered before shutdown.
+				for {
+					select {
+					case ev := <-a.ch:
+						dst.Append(ev)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return a
+}
+
+// Append enqueues ev without blocking; events beyond the buffer are
+// dropped and counted.
+func (a *Async) Append(ev Event) {
+	a.mu.Lock()
+	if a.closed {
+		a.dropped++
+		a.mu.Unlock()
+		return
+	}
+	select {
+	case a.ch <- ev:
+	default:
+		a.dropped++
+	}
+	a.mu.Unlock()
+}
+
+// Dropped is the number of events discarded because the buffer was full
+// or the sink closed.
+func (a *Async) Dropped() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+// Close stops the drain goroutine after flushing buffered events.
+// Appends racing with Close are dropped, never a panic.
+func (a *Async) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.quit)
+	<-a.done
+}

@@ -1,0 +1,206 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// castagnoli is the CRC polynomial table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends CRC32-framed records to one segment stream. It
+// implements Sink. Errors are sticky: after the first write failure the
+// writer drops every subsequent event (counted in Dropped) and Err
+// reports the failure, so emitters never have to handle I/O errors on
+// the hot path.
+//
+// Not safe for concurrent use; wrap in Async for concurrent emitters.
+type Writer struct {
+	w   io.Writer
+	enc *encoder
+	buf []byte
+
+	wroteHeader bool
+	err         error
+
+	events  uint64
+	bytes   uint64
+	dropped uint64
+}
+
+// NewWriter returns a Writer over w. Nothing is written until the first
+// Append, so constructing a Writer over a slow or failing destination is
+// always cheap.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, enc: newEncoder()}
+}
+
+// Append encodes and frames ev. Failures are absorbed into Err.
+func (w *Writer) Append(ev Event) {
+	if w.err != nil {
+		w.dropped++
+		return
+	}
+	if !w.wroteHeader {
+		if _, err := w.w.Write(Magic[:]); err != nil {
+			w.fail(err)
+			return
+		}
+		w.bytes += uint64(len(Magic))
+		w.wroteHeader = true
+	}
+	payload, err := w.enc.appendEvent(w.buf[:0], &ev)
+	w.buf = payload[:0]
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	frame := make([]byte, 0, len(payload)+9)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	if _, err := w.w.Write(frame); err != nil {
+		w.fail(err)
+		return
+	}
+	w.events++
+	w.bytes += uint64(len(frame))
+}
+
+func (w *Writer) fail(err error) {
+	w.err = err
+	w.dropped++
+}
+
+// Err reports the first write or encode failure, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Events is the number of records successfully framed.
+func (w *Writer) Events() uint64 { return w.events }
+
+// Bytes is the number of bytes successfully written, header included.
+func (w *Writer) Bytes() uint64 { return w.bytes }
+
+// Dropped is the number of events discarded after a failure.
+func (w *Writer) Dropped() uint64 { return w.dropped }
+
+// DefaultSegmentBytes is the DirWriter rotation threshold.
+const DefaultSegmentBytes = 8 << 20
+
+// SegmentPattern names segment files inside a log directory.
+const SegmentPattern = "events-%05d.evlog"
+
+// DirWriter writes a segmented log into a directory, rotating to a new
+// segment file once the current one passes SegmentBytes. It implements
+// Sink with the same sticky-error contract as Writer.
+type DirWriter struct {
+	dir          string
+	SegmentBytes uint64
+
+	seg     *Writer
+	file    *os.File
+	segIdx  int
+	err     error
+	events  uint64
+	bytes   uint64
+	dropped uint64
+}
+
+// NewDirWriter creates dir (if needed) and returns a segmented writer
+// into it. The first segment file is created lazily on first Append.
+func NewDirWriter(dir string) (*DirWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eventlog: %w", err)
+	}
+	return &DirWriter{dir: dir, SegmentBytes: DefaultSegmentBytes}, nil
+}
+
+// Append writes ev to the current segment, rotating first if the
+// segment is full.
+func (d *DirWriter) Append(ev Event) {
+	if d.err != nil {
+		d.dropped++
+		return
+	}
+	if d.seg != nil && d.seg.Bytes() >= d.SegmentBytes {
+		if err := d.rotate(); err != nil {
+			d.fail(err)
+			return
+		}
+	}
+	if d.seg == nil {
+		f, err := os.Create(d.segmentPath(d.segIdx))
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.file = f
+		d.seg = NewWriter(f)
+	}
+	d.seg.Append(ev)
+	if err := d.seg.Err(); err != nil {
+		d.fail(err)
+		return
+	}
+	d.events++
+}
+
+func (d *DirWriter) segmentPath(idx int) string {
+	return filepath.Join(d.dir, fmt.Sprintf(SegmentPattern, idx))
+}
+
+// rotate closes the current segment and advances the index. The next
+// Append opens the new file.
+func (d *DirWriter) rotate() error {
+	d.bytes += d.seg.Bytes()
+	d.seg = nil
+	d.segIdx++
+	f := d.file
+	d.file = nil
+	return f.Close()
+}
+
+func (d *DirWriter) fail(err error) {
+	d.err = err
+	d.dropped++
+	if d.file != nil {
+		d.file.Close()
+		d.file = nil
+		d.seg = nil
+	}
+}
+
+// Close flushes and closes the current segment file.
+func (d *DirWriter) Close() error {
+	if d.file != nil {
+		d.bytes += d.seg.Bytes()
+		err := d.file.Close()
+		d.file = nil
+		d.seg = nil
+		if err != nil && d.err == nil {
+			d.err = err
+		}
+	}
+	return d.err
+}
+
+// Err reports the first failure, if any.
+func (d *DirWriter) Err() error { return d.err }
+
+// Events is the number of records successfully appended.
+func (d *DirWriter) Events() uint64 { return d.events }
+
+// Bytes is the total bytes written across closed and current segments.
+func (d *DirWriter) Bytes() uint64 {
+	if d.seg != nil {
+		return d.bytes + d.seg.Bytes()
+	}
+	return d.bytes
+}
+
+// Dropped is the number of events discarded after a failure.
+func (d *DirWriter) Dropped() uint64 { return d.dropped }

@@ -15,7 +15,9 @@ package faultinject
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -60,13 +62,18 @@ type routeState struct {
 type Injector struct {
 	seed uint64
 
-	mu     sync.Mutex
-	routes map[string]*routeState
+	mu      sync.Mutex
+	routes  map[string]*routeState
+	writers map[string]*writerState
 }
 
 // New returns an injector whose every decision derives from seed.
 func New(seed uint64) *Injector {
-	return &Injector{seed: seed, routes: make(map[string]*routeState)}
+	return &Injector{
+		seed:    seed,
+		routes:  make(map[string]*routeState),
+		writers: make(map[string]*writerState),
+	}
 }
 
 // Route sets the fault profile for a route and returns the injector for
@@ -148,6 +155,80 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	case <-ctx.Done():
 	case <-t.C:
 	}
+}
+
+// ErrInjectedWrite is the default failure WriteFaults injects.
+var ErrInjectedWrite = errors.New("faultinject: injected write failure")
+
+// WriteFaults configures an injected write-failure profile for an
+// io.Writer — the fault class event-recording sinks meet in production
+// (full disks, torn pipes, unreachable log shippers).
+type WriteFaults struct {
+	// ErrorRate is the probability a Write call fails outright.
+	ErrorRate float64
+	// Err is the error returned on injected failures; defaults to
+	// ErrInjectedWrite.
+	Err error
+}
+
+// writerState carries one named writer's profile and counters.
+type writerState struct {
+	cfg    WriteFaults
+	writes atomic.Uint64
+	failed atomic.Uint64
+}
+
+// Writer wraps w with a seeded write-failure profile. Like Wrap, the
+// i-th Write's fate is a pure function of (injector seed, name, i), so
+// a failing-sink chaos test is exactly reproducible. The returned
+// writer is safe for concurrent use iff w is.
+func (in *Injector) Writer(name string, w io.Writer, f WriteFaults) io.Writer {
+	if f.Err == nil {
+		f.Err = ErrInjectedWrite
+	}
+	st := &writerState{cfg: f}
+	in.mu.Lock()
+	in.writers[name] = st
+	in.mu.Unlock()
+	return &faultyWriter{in: in, st: st, nameHash: fnv64(name), w: w}
+}
+
+type faultyWriter struct {
+	in       *Injector
+	st       *writerState
+	nameHash uint64
+	w        io.Writer
+}
+
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	n := fw.st.writes.Add(1)
+	f := fw.st.cfg
+	if f.ErrorRate > 0 {
+		rng := stats.NewRNG(fw.in.seed ^ fw.nameHash ^ (n * 0x9e3779b97f4a7c15))
+		if rng.Float64() < f.ErrorRate {
+			fw.st.failed.Add(1)
+			return 0, f.Err
+		}
+	}
+	return fw.w.Write(p)
+}
+
+// WriterStats reports one named writer's call and failure counters.
+type WriterStats struct {
+	Writes uint64
+	Failed uint64
+}
+
+// WriterStats returns the counters for a named writer (zero-valued for
+// unknown names).
+func (in *Injector) WriterStats(name string) WriterStats {
+	in.mu.Lock()
+	st := in.writers[name]
+	in.mu.Unlock()
+	if st == nil {
+		return WriterStats{}
+	}
+	return WriterStats{Writes: st.writes.Load(), Failed: st.failed.Load()}
 }
 
 // RouteStats reports one route's arrival and fate counters.

@@ -2,6 +2,8 @@ package faultinject
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -121,4 +123,65 @@ func isSameHandler(a, b http.Handler) bool {
 	rec := httptest.NewRecorder()
 	a.ServeHTTP(rec, httptest.NewRequest("GET", "/other", nil))
 	return rec.Code == http.StatusOK
+}
+
+func TestChaosWriterFaultsDeterministic(t *testing.T) {
+	const n = 100
+	run := func(seed uint64) ([]bool, WriterStats) {
+		in := New(seed)
+		w := in.Writer("log", io.Discard, WriteFaults{ErrorRate: 0.4})
+		fates := make([]bool, n)
+		for i := range fates {
+			_, err := w.Write([]byte("x"))
+			fates[i] = err != nil
+		}
+		return fates, in.WriterStats("log")
+	}
+	a, sa := run(42)
+	b, sb := run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at write %d", i)
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Writes != n || sa.Failed == 0 || sa.Failed == n {
+		t.Fatalf("40%% error rate failed %d/%d writes", sa.Failed, sa.Writes)
+	}
+	c, _ := run(9)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical write fates")
+	}
+}
+
+func TestChaosWriterErrorPropagation(t *testing.T) {
+	in := New(1)
+	w := in.Writer("always", io.Discard, WriteFaults{ErrorRate: 1})
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want ErrInjectedWrite", err)
+	}
+	custom := errors.New("boom")
+	w2 := in.Writer("custom", io.Discard, WriteFaults{ErrorRate: 1, Err: custom})
+	if _, err := w2.Write([]byte("x")); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+	// Zero rate passes everything through untouched.
+	passthrough := in.Writer("clean", io.Discard, WriteFaults{})
+	for i := 0; i < 50; i++ {
+		if _, err := passthrough.Write([]byte("x")); err != nil {
+			t.Fatalf("clean writer failed: %v", err)
+		}
+	}
+	if st := in.WriterStats("clean"); st.Failed != 0 || st.Writes != 50 {
+		t.Fatalf("clean writer stats: %+v", st)
+	}
 }

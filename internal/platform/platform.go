@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/adcopy"
+	"repro/internal/eventlog"
 	"repro/internal/market"
 	"repro/internal/simclock"
 	"repro/internal/verticals"
@@ -19,6 +20,7 @@ type Platform struct {
 	adsLive  int
 	index    *Index
 	ledger   *Ledger
+	events   eventlog.Sink
 }
 
 // New returns an empty platform.
@@ -28,6 +30,10 @@ func New() *Platform {
 		ledger: NewLedger(),
 	}
 }
+
+// SetEvents attaches an event sink; account-level records (the paper's
+// customer records) are emitted through it. A nil sink disables emission.
+func (p *Platform) SetEvents(s eventlog.Sink) { p.events = s }
 
 // RegistrationRequest carries the information an advertiser supplies when
 // opening an account.
@@ -59,6 +65,25 @@ func (p *Platform) Register(req RegistrationRequest) *Account {
 		FirstAdAt:       NoStamp,
 	}
 	p.accounts = append(p.accounts, a)
+	if p.events != nil {
+		var flags uint8
+		if req.Fraud {
+			flags |= eventlog.FlagFraud
+		}
+		if req.StolenPayment {
+			flags |= eventlog.FlagStolenPayment
+		}
+		p.events.Append(eventlog.Event{
+			Type:     eventlog.TypeAccountCreated,
+			Day:      int32(req.At.Day()),
+			Account:  int32(a.ID),
+			At:       float64(req.At),
+			Country:  string(req.Country),
+			Vertical: int32(verticals.Index(req.PrimaryVertical)),
+			N:        int32(req.Generation),
+			Flags:    flags,
+		})
+	}
 	return a
 }
 

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/eventlog"
 	"repro/internal/sim"
 	"repro/internal/testutil"
 )
@@ -45,6 +46,47 @@ func TestSameSeedByteIdentical(t *testing.T) {
 	b := digestBytes(t, detConfig(99))
 	if !bytes.Equal(a, b) {
 		t.Fatalf("same seed produced different datasets:\n%s", testutil.Diff(string(a), string(b)))
+	}
+}
+
+// TestSameSeedByteIdenticalEventLog extends the same-seed guarantee to
+// the event-log subsystem: two same-seed runs write byte-identical logs
+// (emission order, varint encoding and string interning are all
+// deterministic), and attaching a sink does not perturb the run itself —
+// the logged run's dataset digest matches a sink-less run's.
+func TestSameSeedByteIdenticalEventLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three simulations")
+	}
+	runLogged := func() ([]byte, []byte) {
+		var buf bytes.Buffer
+		w := eventlog.NewWriter(&buf)
+		cfg := detConfig(99)
+		cfg.Events = w
+		res := sim.New(cfg).Run()
+		if err := w.Err(); err != nil {
+			t.Fatalf("event writer failed: %v", err)
+		}
+		if w.Events() == 0 {
+			t.Fatal("no events emitted")
+		}
+		dig, err := testutil.MarshalStable(testutil.DigestResult(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), dig
+	}
+	logA, digA := runLogged()
+	logB, digB := runLogged()
+	if !bytes.Equal(logA, logB) {
+		t.Fatalf("same seed produced different event logs (%d vs %d bytes)", len(logA), len(logB))
+	}
+	if !bytes.Equal(digA, digB) {
+		t.Fatalf("same seed produced different datasets:\n%s", testutil.Diff(string(digA), string(digB)))
+	}
+	plain := digestBytes(t, detConfig(99))
+	if !bytes.Equal(digA, plain) {
+		t.Fatalf("attaching an event sink perturbed the run:\n%s", testutil.Diff(string(digA), string(plain)))
 	}
 }
 

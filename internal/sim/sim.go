@@ -14,6 +14,7 @@ import (
 	"repro/internal/clicks"
 	"repro/internal/dataset"
 	"repro/internal/detection"
+	"repro/internal/eventlog"
 	"repro/internal/platform"
 	"repro/internal/queries"
 	"repro/internal/simclock"
@@ -79,6 +80,14 @@ type Config struct {
 
 	// Progress, when non-nil, receives a line every 30 simulated days.
 	Progress func(string)
+
+	// Events, when non-nil, receives every record the run produces —
+	// registrations, campaign actions, impressions, detections — as an
+	// append-only event stream (see internal/eventlog). Emission happens
+	// from the single simulation goroutine and consumes no randomness, so
+	// attaching a sink changes neither behavior nor seeded outcomes; nil
+	// keeps the non-logging fast path.
+	Events eventlog.Sink
 }
 
 // DefaultConfig is the full-scale two-year run used by cmd/experiments.
@@ -172,6 +181,8 @@ type Sim struct {
 	auctionScr  auction.Scratch
 	clickBuf    []int
 
+	events eventlog.Sink
+
 	res Result
 }
 
@@ -189,6 +200,11 @@ func New(cfg Config) *Sim {
 	runtime := agents.NewRuntime(p, col, qgen.Universe, root.ForkNamed("runtime"))
 	runtime.FullCreatives = cfg.FullCreatives
 	pipeline := detection.New(cfg.Detection, root.ForkNamed("pipeline"), p, col, cfg.Days)
+	if cfg.Events != nil {
+		p.SetEvents(cfg.Events)
+		runtime.Events = cfg.Events
+		pipeline.Events = cfg.Events
+	}
 	return &Sim{
 		cfg:           cfg,
 		rng:           root,
@@ -203,6 +219,7 @@ func New(cfg Config) *Sim {
 		clickRNG:      root.ForkNamed("clicks"),
 		fraudProfiles: make(map[platform.AccountID]agents.Profile),
 		pendingReregs: make(map[simclock.Day][]agents.Profile),
+		events:        cfg.Events,
 		res:           Result{Config: cfg, Platform: p, Collector: col, ShutdownsByStage: nil},
 	}
 }
@@ -263,6 +280,14 @@ func (s *Sim) register(prof agents.Profile, at simclock.Stamp) {
 		Generation:      prof.Generation,
 	})
 	det := detectability(prof)
+	if s.events != nil && prof.Generation > 0 {
+		s.events.Append(eventlog.Event{
+			Type:    eventlog.TypeReregistration,
+			Day:     int32(at.Day()),
+			Account: int32(acct.ID),
+			N:       int32(prof.Generation),
+		})
+	}
 	if prof.Fraud && s.cfg.ReRegisterProb > 0 {
 		s.fraudProfiles[acct.ID] = prof
 	}
@@ -480,8 +505,32 @@ func (s *Sim) serveQueries(day simclock.Day) {
 			}
 			s.p.CountImpression(acct.ID)
 			s.res.Impressions++
-			s.col.Impression(day, acct.ID, isFraud, verticals.Index(pl.Ref.Ad.Vertical),
+			vi := verticals.Index(pl.Ref.Ad.Vertical)
+			s.col.Impression(day, acct.ID, isFraud, vi,
 				q.Country, pl.Position, pl.Ref.Bid.Match, fraudComp, wasClicked, price)
+			if s.events != nil {
+				var flags uint8
+				if isFraud {
+					flags |= eventlog.FlagFraud
+				}
+				if fraudComp {
+					flags |= eventlog.FlagFraudComp
+				}
+				if wasClicked {
+					flags |= eventlog.FlagClicked
+				}
+				s.events.Append(eventlog.Event{
+					Type:     eventlog.TypeImpression,
+					Day:      int32(day),
+					Account:  int32(acct.ID),
+					Vertical: int32(vi),
+					Country:  string(q.Country),
+					Position: int32(pl.Position),
+					Match:    uint8(pl.Ref.Bid.Match),
+					Flags:    flags,
+					Amount:   price,
+				})
+			}
 		}
 	}
 	s.res.RevenueLost = s.p.Ledger().TotalLost()

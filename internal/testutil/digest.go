@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/dataset"
 	"repro/internal/market"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -81,31 +82,28 @@ func (d *digestWriter) done() DatasetDigest {
 	}
 }
 
-// DigestResult fingerprints a completed run's datasets. The encoding
-// walks every table in account-ID / collection order, so it is fully
+// CollectorDigestSet fingerprints the datasets a Collector holds: the
+// two impression/click shapes, the sample-window click counters, and the
+// detection records. It is the comparison unit for replay equivalence —
+// a Collector rebuilt from an event log must produce the identical set.
+type CollectorDigestSet struct {
+	Activity   DatasetDigest `json:"activity"`
+	Windows    DatasetDigest `json:"windows"`
+	Clicks     DatasetDigest `json:"clicks"`
+	Detections DatasetDigest `json:"detections"`
+}
+
+// CollectorDigests canonically encodes every dataset in col, walking the
+// tables in account-ID / collection order so the result is fully
 // deterministic and independent of map iteration order and GOMAXPROCS.
-func DigestResult(res *sim.Result) Digest {
-	p := res.Platform
-	col := res.Collector
-
-	// Customer and ad records: the full account table.
-	accounts := newDigestWriter()
-	for _, a := range p.Accounts() {
-		accounts.record("%d|%s|%s|%s|%s|%t|%t|%d|%s|%s|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%s",
-			a.ID, canonFloat(float64(a.Created)), a.Country, a.Language, a.Currency,
-			a.Fraud, a.StolenPayment, a.Generation, a.PrimaryVertical, a.Status,
-			canonFloat(float64(a.ShutdownAt)), a.ShutdownReason, canonFloat(float64(a.FirstAdAt)),
-			a.AdsCreated, a.AdsModified, a.KeywordsCreated, a.KeywordsModified,
-			len(a.Ads), a.Impressions, a.Clicks, canonFloat(a.Spend))
-	}
-
+func CollectorDigests(col *dataset.Collector) CollectorDigestSet {
 	// Impression/click records, first shape: per-account weekly activity.
 	activity := newDigestWriter()
 	// Impression/click records, second shape: per-window aggregates with
 	// position histograms, competition splits, campaign actions and the
 	// account's bid/click match mixes.
 	windows := newDigestWriter()
-	for id := 0; id < p.NumAccounts(); id++ {
+	for id := 0; id < col.NumTracked(); id++ {
 		agg := col.Agg(platform.AccountID(id))
 		if agg == nil {
 			continue
@@ -156,6 +154,40 @@ func DigestResult(res *sim.Result) Digest {
 		clicks.record("match|%d|%d|%d", m, fs.Fraud, fs.Nonfraud)
 	}
 
+	// Fraud detection records, in collection order.
+	detections := newDigestWriter()
+	for _, rec := range col.Detections() {
+		detections.record("%d|%s|%s|%s", rec.Account, canonFloat(float64(rec.At)), rec.Stage, rec.Reason)
+	}
+
+	return CollectorDigestSet{
+		Activity:   activity.done(),
+		Windows:    windows.done(),
+		Clicks:     clicks.done(),
+		Detections: detections.done(),
+	}
+}
+
+// DigestResult fingerprints a completed run's datasets. The collector
+// tables go through CollectorDigests; the platform-held tables (accounts,
+// billing) are encoded here. Everything walks in account-ID / collection
+// order, so the digest is fully deterministic.
+func DigestResult(res *sim.Result) Digest {
+	p := res.Platform
+
+	// Customer and ad records: the full account table.
+	accounts := newDigestWriter()
+	for _, a := range p.Accounts() {
+		accounts.record("%d|%s|%s|%s|%s|%t|%t|%d|%s|%s|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%s",
+			a.ID, canonFloat(float64(a.Created)), a.Country, a.Language, a.Currency,
+			a.Fraud, a.StolenPayment, a.Generation, a.PrimaryVertical, a.Status,
+			canonFloat(float64(a.ShutdownAt)), a.ShutdownReason, canonFloat(float64(a.FirstAdAt)),
+			a.AdsCreated, a.AdsModified, a.KeywordsCreated, a.KeywordsModified,
+			len(a.Ads), a.Impressions, a.Clicks, canonFloat(a.Spend))
+	}
+
+	colSet := CollectorDigests(res.Collector)
+
 	// Billing: the ledger per account plus platform totals.
 	billing := newDigestWriter()
 	ledger := p.Ledger()
@@ -169,19 +201,13 @@ func DigestResult(res *sim.Result) Digest {
 	}
 	billing.record("totals|%s|%s", canonFloat(ledger.TotalBilled()), canonFloat(ledger.TotalLost()))
 
-	// Fraud detection records, in collection order.
-	detections := newDigestWriter()
-	for _, rec := range col.Detections() {
-		detections.record("%d|%s|%s|%s", rec.Account, canonFloat(float64(rec.At)), rec.Stage, rec.Reason)
-	}
-
 	d := Digest{
 		Accounts:   accounts.done(),
-		Activity:   activity.done(),
-		Windows:    windows.done(),
-		Clicks:     clicks.done(),
+		Activity:   colSet.Activity,
+		Windows:    colSet.Windows,
+		Clicks:     colSet.Clicks,
 		Billing:    billing.done(),
-		Detections: detections.done(),
+		Detections: colSet.Detections,
 		Counters:   CountersOf(res),
 	}
 	d.Fingerprint = fingerprint(d)

@@ -16,6 +16,8 @@ import (
 // smokeBenchmarks lists every benchmark the gate drives.
 var smokeBenchmarks = map[string]func(*testing.B){
 	"DatasetBuildSmall":            BenchmarkDatasetBuildSmall,
+	"EventLogAppend":               BenchmarkEventLogAppend,
+	"EventLogReplay":               BenchmarkEventLogReplay,
 	"Fig1RegistrationFraudShare":   BenchmarkFig1RegistrationFraudShare,
 	"Table1FraudCountries":         BenchmarkTable1FraudCountries,
 	"Fig2LifetimeCDF":              BenchmarkFig2LifetimeCDF,
