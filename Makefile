@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos verify golden bench fuzz-smoke
+.PHONY: build vet test race chaos crash verify golden bench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,18 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject
 
+# crash runs the crash-safety suite: seeded kill-point sweeps proving
+# recover + resume lands on the exact trajectory of an uninterrupted run
+# (digest-identical results and replayed event logs), plus a real
+# SIGKILL-a-subprocess harness over the fraudsim CLI.
+crash:
+	$(GO) test -run 'TestCrash' ./internal/sim ./cmd/fraudsim
+
 # verify is the full pre-merge gate: static checks, build, the whole
 # suite (goldens, determinism, invariants, smoke tests, chaos) under the
-# race detector, and a short corpus-plus-exploration pass over every
-# fuzz target.
-verify: vet build race chaos fuzz-smoke
+# race detector, the crash-safety sweep, and a short
+# corpus-plus-exploration pass over every fuzz target.
+verify: vet build race chaos crash fuzz-smoke
 
 # golden regenerates every golden fixture (sim digests, per-experiment
 # report outputs, the façade quickstart). Only the packages that define
@@ -51,3 +58,5 @@ fuzz-smoke:
 	$(GO) test ./internal/adserver -run '^$$' -fuzz FuzzResolve -fuzztime 5s
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzReadLog -fuzztime 5s
+	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzRecoverDir -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzRestoreCheckpoint -fuzztime 5s

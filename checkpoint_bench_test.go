@@ -1,0 +1,127 @@
+package repro
+
+// Checkpoint and durability benchmarks: what a resumable run pays to
+// save and restore a snapshot, and what each event-log sync policy costs
+// on the append path. Checkpoint numbers include the real file protocol
+// (gob + CRC framing + fsync + atomic rename); the sync-policy benchmark
+// writes through real files so fsync stalls show up in time/op.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+)
+
+var ckptBenchState struct {
+	once sync.Once
+	sim  *sim.Sim
+	data []byte
+}
+
+// ckptBenchData runs a small sim to mid-horizon once and captures both
+// the live sim (the Save workload) and its encoded checkpoint bytes (the
+// Restore workload).
+func ckptBenchData(b *testing.B) (*sim.Sim, []byte) {
+	b.Helper()
+	ckptBenchState.once.Do(func() {
+		cfg := sim.SmallConfig()
+		cfg.Seed = 7
+		cfg.Days = 60
+		cfg.QueriesPerDay = 1000
+		s := sim.New(cfg)
+		for int(s.Day()) < 30 {
+			if !s.Step() {
+				panic("horizon ended before checkpoint day")
+			}
+		}
+		dir, err := os.MkdirTemp("", "ckpt-bench")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "ck.frsnap")
+		if err := s.WriteCheckpointFile(path, sim.LogPosition{NextSegment: 4, Events: 1000}); err != nil {
+			panic(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			panic(err)
+		}
+		ckptBenchState.sim = s
+		ckptBenchState.data = data
+	})
+	return ckptBenchState.sim, ckptBenchState.data
+}
+
+// BenchmarkCheckpointSave measures writing a mid-run checkpoint file:
+// snapshot, deterministic gob encode, CRC framing, fsync, atomic rename.
+func BenchmarkCheckpointSave(b *testing.B) {
+	s, data := ckptBenchData(b)
+	path := filepath.Join(b.TempDir(), "ck.frsnap")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteCheckpointFile(path, sim.LogPosition{NextSegment: 4, Events: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore measures the resume path from checkpoint
+// bytes in memory: validate framing, gob decode, rebuild a runnable sim.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	_, data := ckptBenchData(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Restore(c.State); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirWriterSyncPolicy measures append throughput to a real log
+// directory under each durability policy, with segments small enough
+// that rotation (and its fsyncs, where the policy orders them) happens
+// continually.
+func BenchmarkDirWriterSyncPolicy(b *testing.B) {
+	events, _, _ := evlogBenchData(b)
+	for _, bc := range []struct {
+		name   string
+		policy eventlog.SyncPolicy
+	}{
+		{"none", eventlog.SyncNone},
+		{"rotate", eventlog.SyncRotate},
+		{"interval", eventlog.SyncInterval},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dw, err := eventlog.NewDirWriter(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			dw.Sync = bc.policy
+			dw.SegmentBytes = 256 << 10
+			dw.SyncBytes = 64 << 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dw.Append(events[i%len(events)])
+			}
+			b.StopTimer()
+			if err := dw.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if dw.Dropped() != 0 {
+				b.Fatalf("%d events dropped", dw.Dropped())
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

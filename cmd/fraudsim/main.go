@@ -5,7 +5,19 @@
 // Usage:
 //
 //	fraudsim [-scale small|medium|full] [-seed N] [-days N]
-//	         [-queries N] [-regs F] [-v] [-export DIR] [-eventlog DIR]
+//	         [-queries N] [-regs F] [-v] [-export DIR]
+//	         [-eventlog DIR] [-sync none|rotate|interval]
+//	         [-checkpoint PATH] [-checkpoint-every N]
+//	         [-resume PATH]
+//
+// With -checkpoint-every N the simulator writes a crash-safe snapshot to
+// the -checkpoint file every N simulated days (aligned with an event-log
+// segment rotation when -eventlog is on). A killed run restarts with
+// -resume PATH: the event log is recovered and truncated to the
+// checkpoint's segment boundary, the simulation state is restored, and
+// the run continues on the exact deterministic trajectory of an
+// uninterrupted run. Run parameters (-scale, -seed, -days, -queries,
+// -regs) come from the checkpoint and cannot be overridden on resume.
 package main
 
 import (
@@ -14,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/eventlog"
@@ -40,38 +53,120 @@ func run(args []string, stdout, stderr io.Writer) error {
 	verbose := fs.Bool("v", false, "print progress every 30 simulated days")
 	export := fs.String("export", "", "directory to write the three datasets as JSON lines")
 	evDir := fs.String("eventlog", "", "directory to write the run's append-only event log (inspect with logtool)")
+	syncMode := fs.String("sync", "rotate", "event log fsync policy: none, rotate, or interval")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file to write (with -checkpoint-every)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "write a checkpoint every N simulated days (0 = never)")
+	resume := fs.String("resume", "", "resume a killed run from this checkpoint file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg, err := configFor(*scale)
+	policy, err := syncPolicyFor(*syncMode)
 	if err != nil {
 		return err
 	}
-	cfg.Seed = *seed
-	if *days > 0 {
-		cfg.Days = simclock.Day(*days)
+	if *ckptEvery > 0 && *ckptPath == "" && *resume == "" {
+		return fmt.Errorf("fraudsim: -checkpoint-every needs -checkpoint PATH")
 	}
-	if *queries > 0 {
-		cfg.QueriesPerDay = *queries
-	}
-	if *regs > 0 {
-		cfg.RegistrationsPerDay = *regs
-	}
-	if *verbose {
-		cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
+	if *ckptEvery > 0 && *ckptPath == "" {
+		*ckptPath = *resume // keep checkpointing into the file we resumed from
 	}
 
-	var dw *eventlog.DirWriter
-	if *evDir != "" {
-		dw, err = eventlog.NewDirWriter(*evDir)
+	var (
+		s       *sim.Sim
+		dw      *eventlog.DirWriter
+		logBase uint64 // events already in the log before this process
+	)
+	if *resume != "" {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale", "seed", "days", "queries", "regs":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("fraudsim: %s cannot be combined with -resume (run parameters come from the checkpoint)",
+				strings.Join(bad, ", "))
+		}
+		c, err := sim.ReadCheckpoint(*resume)
+		if err != nil {
+			return fmt.Errorf("fraudsim: %w", err)
+		}
+		if *evDir == "" && (c.Log.NextSegment > 0 || c.Log.Events > 0) {
+			return fmt.Errorf("fraudsim: checkpoint was taken with an event log; pass -eventlog DIR to resume it")
+		}
+		if *evDir != "" {
+			// Heal whatever the crash left behind, then drop everything
+			// written after the checkpoint so the log rejoins the
+			// simulation at the same day boundary.
+			if rep, err := eventlog.RecoverDir(*evDir, true); err != nil {
+				return fmt.Errorf("fraudsim: recover event log: %w", err)
+			} else if !rep.Healthy {
+				fmt.Fprintln(stderr, rep.String())
+			}
+			if err := eventlog.TruncateToSegment(*evDir, c.Log.NextSegment); err != nil {
+				return fmt.Errorf("fraudsim: %w", err)
+			}
+			dw, err = eventlog.NewDirWriterAt(*evDir, c.Log.NextSegment)
+			if err != nil {
+				return err
+			}
+			dw.Sync = policy
+			logBase = c.Log.Events
+		}
+		s, err = sim.Restore(c.State)
+		if err != nil {
+			return fmt.Errorf("fraudsim: %w", err)
+		}
+		if dw != nil {
+			s.SetEvents(dw)
+		}
+		if *verbose {
+			s.SetProgress(func(line string) { fmt.Fprintln(stderr, line) })
+		}
+		fmt.Fprintf(stdout, "resumed from %s at day %d\n", *resume, s.Day())
+	} else {
+		cfg, err := configFor(*scale)
 		if err != nil {
 			return err
 		}
-		cfg.Events = dw
+		cfg.Seed = *seed
+		if *days > 0 {
+			cfg.Days = simclock.Day(*days)
+		}
+		if *queries > 0 {
+			cfg.QueriesPerDay = *queries
+		}
+		if *regs > 0 {
+			cfg.RegistrationsPerDay = *regs
+		}
+		if *verbose {
+			cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
+		}
+		if *evDir != "" {
+			dw, err = eventlog.NewDirWriter(*evDir)
+			if err != nil {
+				return err
+			}
+			dw.Sync = policy
+			cfg.Events = dw
+		}
+		s = sim.New(cfg)
 	}
 
-	res := sim.New(cfg).Run()
+	startDay := s.Day()
+	for {
+		if *ckptEvery > 0 && s.Day() > startDay && int(s.Day())%*ckptEvery == 0 {
+			if err := writeCheckpoint(s, dw, *ckptPath, logBase); err != nil {
+				return fmt.Errorf("fraudsim: checkpoint: %w", err)
+			}
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	res := s.Finish()
 	printSummary(stdout, res)
 
 	if dw != nil {
@@ -79,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("fraudsim: event log: %w", err)
 		}
 		fmt.Fprintf(stdout, "event log written to %s (%d events, %d bytes)\n",
-			*evDir, dw.Events(), dw.Bytes())
+			*evDir, logBase+dw.Events(), dw.Bytes())
 	}
 
 	if *export != "" {
@@ -116,6 +211,32 @@ func exportDatasets(dir string, res *sim.Result) error {
 		return err
 	}
 	return write("detections.jsonl", res.Collector.ExportDetections)
+}
+
+// writeCheckpoint rotates the event log to a segment boundary and
+// snapshots the simulation against it.
+func writeCheckpoint(s *sim.Sim, dw *eventlog.DirWriter, path string, logBase uint64) error {
+	var pos sim.LogPosition
+	if dw != nil {
+		if err := dw.Rotate(); err != nil {
+			return err
+		}
+		pos = sim.LogPosition{NextSegment: dw.NextSegment(), Events: logBase + dw.Events()}
+	}
+	return s.WriteCheckpointFile(path, pos)
+}
+
+func syncPolicyFor(mode string) (eventlog.SyncPolicy, error) {
+	switch mode {
+	case "none":
+		return eventlog.SyncNone, nil
+	case "rotate":
+		return eventlog.SyncRotate, nil
+	case "interval":
+		return eventlog.SyncInterval, nil
+	default:
+		return 0, fmt.Errorf("fraudsim: unknown sync policy %q (want none, rotate, or interval)", mode)
+	}
 }
 
 func configFor(scale string) (sim.Config, error) {

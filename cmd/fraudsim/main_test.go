@@ -1,12 +1,18 @@
 package main
 
 import (
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/eventlog"
+	"repro/internal/sim"
+	"repro/internal/testutil"
 )
 
 func TestRunSummaryAndExport(t *testing.T) {
@@ -71,5 +77,111 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errw strings.Builder
 	if err := run([]string{"-nope"}, &out, &errw); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunRejectsResumeWithOverrides(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-resume", "nope.frsnap", "-seed", "9"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-seed") {
+		t.Fatalf("resume with -seed: %v", err)
+	}
+}
+
+// TestCrashChildProcess is the re-exec helper for the subprocess-kill
+// harness below: it runs fraudsim's real entry point so the parent can
+// SIGKILL an actual process mid-run.
+func TestCrashChildProcess(t *testing.T) {
+	if os.Getenv("FRAUDSIM_CRASH_CHILD") != "1" {
+		t.Skip("re-exec helper for TestCrashSubprocessKillResume")
+	}
+	if err := run(strings.Fields(os.Getenv("FRAUDSIM_CRASH_ARGS")), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashSubprocessKillResume kills a real checkpointing fraudsim
+// process with SIGKILL — no deferred cleanup, no flushes, a genuinely
+// torn event log — then resumes it in-process and checks the datasets
+// and the replayed event log match an uninterrupted run exactly.
+func TestCrashSubprocessKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations and a subprocess")
+	}
+	base := []string{"-scale", "small", "-seed", "11", "-days", "60", "-queries", "400", "-regs", "8"}
+
+	// Uninterrupted reference, in-process.
+	refOut, refLog := t.TempDir(), filepath.Join(t.TempDir(), "log")
+	var sb strings.Builder
+	if err := run(append(base[:len(base):len(base)], "-eventlog", refLog, "-export", refOut), &sb, &sb); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, sb.String())
+	}
+
+	// Checkpointing child process, killed shortly after its first
+	// checkpoint lands.
+	logDir := filepath.Join(t.TempDir(), "log")
+	ckpt := filepath.Join(t.TempDir(), "ck.frsnap")
+	childArgs := append(base[:len(base):len(base)],
+		"-eventlog", logDir, "-checkpoint", ckpt, "-checkpoint-every", "10")
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashChildProcess$")
+	cmd.Env = append(os.Environ(),
+		"FRAUDSIM_CRASH_CHILD=1",
+		"FRAUDSIM_CRASH_ARGS="+strings.Join(childArgs, " "))
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("child never wrote a checkpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond) // let it get back into the thick of a day
+	cmd.Process.Kill()                // SIGKILL: nothing gets to clean up
+	cmd.Wait()
+
+	// Resume in-process from whatever the kill left behind.
+	resOut := t.TempDir()
+	sb.Reset()
+	err := run([]string{"-resume", ckpt, "-eventlog", logDir, "-export", resOut}, &sb, &sb)
+	if err != nil {
+		t.Fatalf("resume: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "resumed from") {
+		t.Fatalf("resume output:\n%s", sb.String())
+	}
+
+	for _, name := range []string{"customers.jsonl", "activity.jsonl", "detections.jsonl"} {
+		ref, err := os.ReadFile(filepath.Join(refOut, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(resOut, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ref) != string(got) {
+			t.Errorf("%s differs between killed+resumed and uninterrupted runs", name)
+		}
+	}
+
+	// The recovered log replays to the same analytics as the reference's.
+	cfg := sim.SmallConfig()
+	refCol, err := dataset.ReplayDir(refLog, cfg.Windows, cfg.SampleWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCol, err := dataset.ReplayDir(logDir, cfg.Windows, cfg.SampleWindow)
+	if err != nil {
+		t.Fatalf("replay recovered log: %v", err)
+	}
+	if a, b := testutil.CollectorDigests(refCol), testutil.CollectorDigests(gotCol); a != b {
+		t.Errorf("replayed logs diverge:\n ref %+v\n got %+v", a, b)
 	}
 }

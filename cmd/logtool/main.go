@@ -5,14 +5,20 @@
 //
 //	logtool stat PATH...
 //	logtool cat [-json] [-from N] [-to N] [-type NAME[,NAME...]] PATH...
-//	logtool verify PATH...
+//	logtool verify [-q] PATH...
+//	logtool repair [-dry-run] DIR...
 //
 // Each PATH is either a log directory (its events-*.evlog segments are
-// read in write order) or a single segment file.
+// read in write order) or a single segment file. repair takes log
+// directories only.
 //
 //	stat    per-type record counts, day range, bytes, segment count
 //	cat     print matching records, one per line (-json for JSON lines)
-//	verify  walk every frame, checking CRCs and record encodings
+//	verify  walk every frame, checking CRCs and record encodings; on
+//	        damage, report the last CRC-valid byte offset and exit 1
+//	repair  recover a crash-torn log directory: truncate the torn tail
+//	        to the last valid frame, finalize the unsealed segment, and
+//	        rewrite the manifest (-dry-run reports without touching it)
 package main
 
 import (
@@ -46,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runCat(rest, stdout, stderr)
 	case "verify":
 		return runVerify(rest, stdout, stderr)
+	case "repair":
+		return runRepair(rest, stdout, stderr)
 	default:
 		return fmt.Errorf("logtool: unknown command %q\n\n%s", cmd, usage)
 	}
@@ -54,7 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 const usage = `usage:
   logtool stat PATH...
   logtool cat [-json] [-from N] [-to N] [-type NAME[,NAME...]] PATH...
-  logtool verify PATH...`
+  logtool verify [-q] PATH...
+  logtool repair [-dry-run] DIR...`
 
 func usageError() error { return fmt.Errorf("logtool: no command\n\n%s", usage) }
 
@@ -252,6 +261,7 @@ func formatEvent(ev *eventlog.Event) string {
 func runVerify(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("logtool verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "print only damaged segments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,13 +274,16 @@ func runVerify(args []string, stdout, stderr io.Writer) error {
 	// damaged, so one bad file does not hide the state of the rest.
 	bad := 0
 	for _, p := range paths {
-		frames, err := verifyFile(p)
+		frames, valid, err := verifyFile(p)
 		if err != nil {
 			bad++
-			fmt.Fprintf(stdout, "%s: CORRUPT after %d good frames: %v\n", p, frames, err)
+			fmt.Fprintf(stdout, "%s: CORRUPT after %d good frames, last valid byte offset %d: %v\n",
+				p, frames, valid, err)
 			continue
 		}
-		fmt.Fprintf(stdout, "%s: ok (%d frames)\n", p, frames)
+		if !*quiet {
+			fmt.Fprintf(stdout, "%s: ok (%d frames, %d bytes)\n", p, frames, valid)
+		}
 	}
 	if bad > 0 {
 		return fmt.Errorf("logtool: %d of %d segments corrupt", bad, len(paths))
@@ -279,11 +292,12 @@ func runVerify(args []string, stdout, stderr io.Writer) error {
 }
 
 // verifyFile decodes every frame in one segment, returning how many
-// were intact and the first damage encountered.
-func verifyFile(path string) (uint64, error) {
+// were intact, the offset just past the last valid frame, and the first
+// damage encountered.
+func verifyFile(path string) (uint64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	r := eventlog.NewReader(f, eventlog.Filter{})
@@ -292,9 +306,75 @@ func verifyFile(path string) (uint64, error) {
 		switch err := r.Next(&ev); err {
 		case nil:
 		case io.EOF:
-			return r.Frames(), nil
+			return r.Frames(), r.Offset(), nil
 		default:
-			return r.Frames(), err
+			return r.Frames(), r.Offset(), err
 		}
 	}
+}
+
+func runRepair(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("logtool repair", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dryRun := fs.Bool("dry-run", false, "report what repair would do without changing any bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		return fmt.Errorf("logtool: no log directories given\n\n%s", usage)
+	}
+	needed := 0
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("logtool: %w", err)
+		}
+		if !fi.IsDir() {
+			return fmt.Errorf("logtool: repair works on log directories, %s is a file", dir)
+		}
+		rep, err := eventlog.RecoverDir(dir, !*dryRun)
+		if rep != nil {
+			printReport(stdout, rep, *dryRun)
+		}
+		if err != nil {
+			return fmt.Errorf("logtool: %w", err)
+		}
+		if !rep.Healthy {
+			needed++
+		}
+	}
+	if *dryRun && needed > 0 {
+		return fmt.Errorf("logtool: %d of %d directories need repair (dry run, nothing changed)", needed, len(dirs))
+	}
+	return nil
+}
+
+// printReport renders a RecoverDir report, one line per segment plus a
+// summary.
+func printReport(w io.Writer, rep *eventlog.Report, dryRun bool) {
+	would := ""
+	if dryRun {
+		would = "would be "
+	}
+	for _, sr := range rep.Segments {
+		var actions []string
+		if sr.Truncated {
+			actions = append(actions, fmt.Sprintf("%struncated %d -> %d bytes", would, sr.Bytes, sr.Valid))
+		}
+		if sr.Removed {
+			actions = append(actions, would+"removed (no complete frames)")
+		} else if sr.Finalized {
+			actions = append(actions, would+"finalized")
+		}
+		if sr.ManifestMismatch != "" {
+			actions = append(actions, sr.ManifestMismatch)
+		}
+		if len(actions) == 0 {
+			fmt.Fprintf(w, "  %s: ok (%d frames, %d bytes)\n", sr.Name, sr.Frames, sr.Bytes)
+			continue
+		}
+		fmt.Fprintf(w, "  %s: %d good frames; %s\n", sr.Name, sr.Frames, strings.Join(actions, "; "))
+	}
+	fmt.Fprintln(w, rep.String())
 }

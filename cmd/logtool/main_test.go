@@ -152,6 +152,133 @@ func TestVerifyCleanAndCorrupt(t *testing.T) {
 	}
 }
 
+func TestVerifyReportsLastValidOffset(t *testing.T) {
+	dir := writeSampleLog(t)
+	segs, err := eventlog.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the last segment mid-frame, the way an in-place
+	// writer dies: the file ends two bytes short of a complete frame.
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, b[:len(b)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw strings.Builder
+	if err := run([]string{"verify", dir}, &out, &errw); err == nil {
+		t.Fatalf("verify accepted a torn tail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "last valid byte offset") {
+		t.Errorf("verify does not report the truncation point:\n%s", out.String())
+	}
+
+	// -q suppresses the ok lines but still names the damage.
+	out.Reset()
+	run([]string{"verify", "-q", dir}, &out, &errw)
+	if strings.Contains(out.String(), ": ok") {
+		t.Errorf("-q still prints clean segments:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") {
+		t.Errorf("-q hides the damage:\n%s", out.String())
+	}
+}
+
+// readDirBytes snapshots every file in dir by name for byte-identity
+// comparisons.
+func readDirBytes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]string{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[e.Name()] = string(b)
+	}
+	return m
+}
+
+func TestRepairTornTail(t *testing.T) {
+	// Build a crash-shaped log: abandon the DirWriter without Close so
+	// the active segment survives only as a .tmp, then tear its tail.
+	dir := filepath.Join(t.TempDir(), "events")
+	dw, err := eventlog.NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw.SegmentBytes = 128
+	for i := 0; i < 40; i++ {
+		dw.Append(eventlog.Event{Type: eventlog.TypeImpression, Day: int32(i), Account: 7, Country: "US"})
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "events-*.evlog.tmp"))
+	if err != nil || len(tmps) != 1 {
+		t.Fatalf("want one unsealed tail, got %v (%v)", tmps, err)
+	}
+	b, err := os.ReadFile(tmps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tmps[0], b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run: reports the repair, exits non-zero, changes nothing.
+	before := readDirBytes(t, dir)
+	var out, errw strings.Builder
+	err = run([]string{"repair", "-dry-run", dir}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "need repair") {
+		t.Fatalf("dry run on torn log: err=%v\n%s", err, out.String())
+	}
+	if got := readDirBytes(t, dir); len(got) != len(before) {
+		t.Fatalf("dry run changed the directory: %v -> %v", before, got)
+	} else {
+		for name, data := range before {
+			if got[name] != data {
+				t.Fatalf("dry run modified %s", name)
+			}
+		}
+	}
+
+	// Real repair: truncates the tail, finalizes the segment, and the
+	// log then verifies clean with one torn event dropped.
+	out.Reset()
+	if err := run([]string{"repair", dir}, &out, &errw); err != nil {
+		t.Fatalf("repair: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "truncated") || !strings.Contains(out.String(), "finalized") {
+		t.Errorf("repair output missing actions:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"verify", dir}, &out, &errw); err != nil {
+		t.Fatalf("verify after repair: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"stat", dir}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events    39") {
+		t.Errorf("want 39 surviving events after dropping the torn frame:\n%s", out.String())
+	}
+
+	// A second repair finds nothing to do.
+	out.Reset()
+	if err := run([]string{"repair", "-dry-run", dir}, &out, &errw); err != nil {
+		t.Fatalf("repaired log still reports damage: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "healthy") {
+		t.Errorf("repaired log not reported healthy:\n%s", out.String())
+	}
+}
+
 func TestVerifyAcceptsSingleFile(t *testing.T) {
 	dir := writeSampleLog(t)
 	segs, err := eventlog.Segments(dir)

@@ -86,6 +86,9 @@ func NewGenerator(rng *stats.RNG) *Generator {
 	return &Generator{rng: rng}
 }
 
+// RNG exposes the generator's RNG for checkpointing.
+func (g *Generator) RNG() *stats.RNG { return g.rng }
+
 // Creative builds an ad creative for a keyword phrase in the given
 // vertical. Fraudulent creatives may apply blacklist evasion; evade
 // controls the probability of applying a text transform.

@@ -2,6 +2,7 @@ package adcopy
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -61,6 +62,38 @@ func (g *DomainGenerator) Unique() string {
 		}
 		g.seq++
 	}
+}
+
+// DomainGeneratorState is the serializable state of a DomainGenerator:
+// the RNG stream position plus the uniqueness bookkeeping (issued domains
+// and the serial-suffix counter), both of which must survive a checkpoint
+// or a restored run could re-issue a previously minted domain.
+type DomainGeneratorState struct {
+	RNG  stats.RNGState
+	Used []string
+	Seq  int
+}
+
+// State captures the generator's state. Used is emitted sorted so the
+// snapshot bytes are deterministic.
+func (g *DomainGenerator) State() DomainGeneratorState {
+	used := make([]string, 0, len(g.used))
+	for d := range g.used {
+		used = append(used, d)
+	}
+	sort.Strings(used)
+	return DomainGeneratorState{RNG: g.rng.State(), Used: used, Seq: g.seq}
+}
+
+// SetState overwrites the generator's state with a snapshot captured by
+// State.
+func (g *DomainGenerator) SetState(st DomainGeneratorState) {
+	g.rng.SetState(st.RNG)
+	g.used = make(map[string]bool, len(st.Used))
+	for _, d := range st.Used {
+		g.used[d] = true
+	}
+	g.seq = st.Seq
 }
 
 // Shortener returns one of the shared URL-shortener domains.

@@ -67,6 +67,12 @@ func NewReader(r io.Reader, filter Filter) *Reader {
 // Frames is the number of frames decoded so far, filtered or not.
 func (r *Reader) Frames() uint64 { return r.frames }
 
+// Offset is the byte offset just past the last cleanly decoded frame (or
+// past the header if no frame has decoded yet). After a frame error this
+// is the last CRC-valid offset — the truncation point torn-tail repair
+// uses.
+func (r *Reader) Offset() int64 { return r.offset }
+
 func (r *Reader) readHeader() error {
 	var magic [len(Magic)]byte
 	if _, err := io.ReadFull(r.r, magic[:]); err != nil {

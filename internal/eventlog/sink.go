@@ -1,6 +1,9 @@
 package eventlog
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Sink consumes emitted events. Implementations absorb their own
 // failures (see Writer's sticky-error contract): emitters on the hot
@@ -98,6 +101,28 @@ func (a *Async) Dropped() uint64 {
 // Close stops the drain goroutine after flushing buffered events.
 // Appends racing with Close are dropped, never a panic.
 func (a *Async) Close() {
+	a.signalClose()
+	<-a.done
+}
+
+// CloseWithin is Close with a deadline: if the destination sink has
+// wedged mid-Append, it gives up after d and returns false instead of
+// hanging shutdown forever. The drain goroutine is abandoned, not
+// killed — it exits on its own if the destination ever unwedges. A true
+// return means every buffered event was flushed.
+func (a *Async) CloseWithin(d time.Duration) bool {
+	a.signalClose()
+	select {
+	case <-a.done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// signalClose flips the closed flag and fires the quit signal exactly
+// once; safe under concurrent Close/CloseWithin calls.
+func (a *Async) signalClose() {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -106,5 +131,4 @@ func (a *Async) Close() {
 	a.closed = true
 	a.mu.Unlock()
 	close(a.quit)
-	<-a.done
 }

@@ -30,6 +30,7 @@ type Writer struct {
 	events  uint64
 	bytes   uint64
 	dropped uint64
+	crc     uint32
 }
 
 // NewWriter returns a Writer over w. Nothing is written until the first
@@ -51,6 +52,7 @@ func (w *Writer) Append(ev Event) {
 			return
 		}
 		w.bytes += uint64(len(Magic))
+		w.crc = crc32.Update(w.crc, castagnoli, Magic[:])
 		w.wroteHeader = true
 	}
 	payload, err := w.enc.appendEvent(w.buf[:0], &ev)
@@ -69,6 +71,7 @@ func (w *Writer) Append(ev Event) {
 	}
 	w.events++
 	w.bytes += uint64(len(frame))
+	w.crc = crc32.Update(w.crc, castagnoli, frame)
 }
 
 func (w *Writer) fail(err error) {
@@ -88,8 +91,39 @@ func (w *Writer) Bytes() uint64 { return w.bytes }
 // Dropped is the number of events discarded after a failure.
 func (w *Writer) Dropped() uint64 { return w.dropped }
 
+// CRC32C is the running Castagnoli CRC over every byte written so far,
+// header included. The DirWriter records it per segment in the manifest.
+func (w *Writer) CRC32C() uint32 { return w.crc }
+
 // DefaultSegmentBytes is the DirWriter rotation threshold.
 const DefaultSegmentBytes = 8 << 20
+
+// DefaultSyncBytes is the SyncInterval fsync stride.
+const DefaultSyncBytes = 1 << 20
+
+// TmpSuffix marks a segment still being written. The active segment
+// lives at "<name>.evlog.tmp" and is renamed to its final name only
+// after a successful sync+close ("sealing"), so a final-named segment is
+// always complete. A crash leaves at most one .tmp tail behind;
+// RecoverDir repairs and finalizes it.
+const TmpSuffix = ".tmp"
+
+// SyncPolicy selects how aggressively DirWriter fsyncs segment data.
+type SyncPolicy uint8
+
+const (
+	// SyncNone never fsyncs: fastest, but a crash can lose any buffered
+	// segment bytes. Sealed-segment renames still happen, so completed
+	// segments keep their final names.
+	SyncNone SyncPolicy = iota
+	// SyncRotate fsyncs each segment once, when it is sealed (rotation
+	// or Close). The default: the hot path stays write-only and a crash
+	// can lose at most the active segment's tail.
+	SyncRotate
+	// SyncInterval fsyncs like SyncRotate plus every SyncBytes of the
+	// active segment, bounding tail loss at the cost of periodic fsyncs.
+	SyncInterval
+)
 
 // SegmentPattern names segment files inside a log directory.
 const SegmentPattern = "events-%05d.evlog"
@@ -97,26 +131,72 @@ const SegmentPattern = "events-%05d.evlog"
 // DirWriter writes a segmented log into a directory, rotating to a new
 // segment file once the current one passes SegmentBytes. It implements
 // Sink with the same sticky-error contract as Writer.
+//
+// Durability: the active segment is written under a .tmp name and
+// "sealed" on rotation or Close — synced per the Sync policy, closed,
+// atomically renamed to its final name, and recorded in the directory's
+// manifest. A final-named segment is therefore always complete; a crash
+// leaves at most one torn .tmp tail for RecoverDir to repair.
 type DirWriter struct {
 	dir          string
 	SegmentBytes uint64
+	// Sync is the fsync policy; NewDirWriter defaults it to SyncRotate.
+	Sync SyncPolicy
+	// SyncBytes is the SyncInterval stride (default DefaultSyncBytes).
+	SyncBytes uint64
 
-	seg     *Writer
-	file    *os.File
-	segIdx  int
-	err     error
-	events  uint64
-	bytes   uint64
-	dropped uint64
+	seg      *Writer
+	file     *os.File
+	segIdx   int
+	lastSync uint64
+	sealed   []ManifestSegment
+	err      error
+	events   uint64
+	bytes    uint64
+	dropped  uint64
 }
 
 // NewDirWriter creates dir (if needed) and returns a segmented writer
-// into it. The first segment file is created lazily on first Append.
+// into it, starting at segment 0 with the default SyncRotate policy.
+// The first segment file is created lazily on first Append.
 func NewDirWriter(dir string) (*DirWriter, error) {
+	return NewDirWriterAt(dir, 0)
+}
+
+// NewDirWriterAt returns a segmented writer that opens its first segment
+// at index nextSegment, for resuming an existing log at a sealed-segment
+// boundary. Manifest entries for segments below nextSegment are carried
+// over so the manifest stays complete across the resume. The caller is
+// responsible for having removed segments at or above nextSegment (see
+// TruncateToSegment).
+func NewDirWriterAt(dir string, nextSegment int) (*DirWriter, error) {
+	if nextSegment < 0 {
+		return nil, fmt.Errorf("eventlog: negative segment index %d", nextSegment)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("eventlog: %w", err)
 	}
-	return &DirWriter{dir: dir, SegmentBytes: DefaultSegmentBytes}, nil
+	d := &DirWriter{
+		dir:          dir,
+		SegmentBytes: DefaultSegmentBytes,
+		Sync:         SyncRotate,
+		SyncBytes:    DefaultSyncBytes,
+		segIdx:       nextSegment,
+	}
+	if nextSegment > 0 {
+		m, err := ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			for _, s := range m.Segments {
+				if idx, ok := SegmentIndex(s.Name); ok && idx < nextSegment {
+					d.sealed = append(d.sealed, s)
+				}
+			}
+		}
+	}
+	return d, nil
 }
 
 // Append writes ev to the current segment, rotating first if the
@@ -127,19 +207,20 @@ func (d *DirWriter) Append(ev Event) {
 		return
 	}
 	if d.seg != nil && d.seg.Bytes() >= d.SegmentBytes {
-		if err := d.rotate(); err != nil {
+		if err := d.seal(); err != nil {
 			d.fail(err)
 			return
 		}
 	}
 	if d.seg == nil {
-		f, err := os.Create(d.segmentPath(d.segIdx))
+		f, err := os.Create(d.segmentPath(d.segIdx) + TmpSuffix)
 		if err != nil {
 			d.fail(err)
 			return
 		}
 		d.file = f
 		d.seg = NewWriter(f)
+		d.lastSync = 0
 	}
 	d.seg.Append(ev)
 	if err := d.seg.Err(); err != nil {
@@ -147,21 +228,95 @@ func (d *DirWriter) Append(ev Event) {
 		return
 	}
 	d.events++
+	if d.Sync == SyncInterval && d.seg.Bytes()-d.lastSync >= d.syncBytes() {
+		if err := d.file.Sync(); err != nil {
+			d.fail(err)
+			return
+		}
+		d.lastSync = d.seg.Bytes()
+	}
+}
+
+func (d *DirWriter) syncBytes() uint64 {
+	if d.SyncBytes == 0 {
+		return DefaultSyncBytes
+	}
+	return d.SyncBytes
 }
 
 func (d *DirWriter) segmentPath(idx int) string {
 	return filepath.Join(d.dir, fmt.Sprintf(SegmentPattern, idx))
 }
 
-// rotate closes the current segment and advances the index. The next
-// Append opens the new file.
-func (d *DirWriter) rotate() error {
+// NextSegment is the index of the segment the next Append would write
+// into if the current one were sealed first. Immediately after Rotate it
+// is the index the log resumes at — what checkpoints record.
+func (d *DirWriter) NextSegment() int {
+	if d.seg != nil {
+		return d.segIdx + 1
+	}
+	return d.segIdx
+}
+
+// Rotate seals the active segment now, so the next Append starts a fresh
+// one. Checkpointing calls this to align snapshots with segment
+// boundaries. A no-op when no segment is open.
+func (d *DirWriter) Rotate() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.seg == nil {
+		return nil
+	}
+	if err := d.seal(); err != nil {
+		d.fail(err)
+		return err
+	}
+	return nil
+}
+
+// seal syncs, closes, and renames the active segment to its final name,
+// then records it in the manifest. The file handle is always closed,
+// even when the sync fails, so a failed seal never leaks it.
+func (d *DirWriter) seal() error {
+	entry := ManifestSegment{
+		Name:   fmt.Sprintf(SegmentPattern, d.segIdx),
+		Bytes:  d.seg.Bytes(),
+		Events: d.seg.Events(),
+		CRC32C: d.seg.CRC32C(),
+	}
 	d.bytes += d.seg.Bytes()
 	d.seg = nil
-	d.segIdx++
 	f := d.file
 	d.file = nil
-	return f.Close()
+	final := d.segmentPath(d.segIdx)
+	d.segIdx++
+
+	var syncErr error
+	if d.Sync != SyncNone {
+		syncErr = f.Sync()
+	}
+	closeErr := f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if err := os.Rename(final+TmpSuffix, final); err != nil {
+		return err
+	}
+	if d.Sync != SyncNone {
+		if err := syncDir(d.dir); err != nil {
+			return err
+		}
+	}
+	d.sealed = append(d.sealed, entry)
+	return writeManifest(d.dir, &Manifest{
+		Version:     ManifestVersion,
+		NextSegment: d.segIdx,
+		Segments:    d.sealed,
+	}, d.Sync != SyncNone)
 }
 
 func (d *DirWriter) fail(err error) {
@@ -174,14 +329,10 @@ func (d *DirWriter) fail(err error) {
 	}
 }
 
-// Close flushes and closes the current segment file.
+// Close seals the active segment (sync, close, rename, manifest).
 func (d *DirWriter) Close() error {
-	if d.file != nil {
-		d.bytes += d.seg.Bytes()
-		err := d.file.Close()
-		d.file = nil
-		d.seg = nil
-		if err != nil && d.err == nil {
+	if d.seg != nil {
+		if err := d.seal(); err != nil && d.err == nil {
 			d.err = err
 		}
 	}

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// TestChaosCrashWriterProfile pins the kill-after-N contract: N clean
+// writes, a torn strict-prefix write, then nothing but ErrInjectedCrash.
+func TestChaosCrashWriterProfile(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(99)
+	w := in.Writer("crash", &buf, WriteFaults{KillAfterWrites: 3})
+
+	rec := []byte("0123456789")
+	for i := 0; i < 3; i++ {
+		if n, err := w.Write(rec); n != len(rec) || err != nil {
+			t.Fatalf("write %d before the kill point: n=%d err=%v", i, n, err)
+		}
+	}
+	whole := buf.Len()
+	if _, err := w.Write(rec); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("fatal write err = %v, want ErrInjectedCrash", err)
+	}
+	torn := buf.Len() - whole
+	if torn < 0 || torn >= len(rec) {
+		t.Fatalf("fatal write persisted %d of %d bytes, want a strict prefix", torn, len(rec))
+	}
+	for i := 0; i < 5; i++ {
+		before := buf.Len()
+		if _, err := w.Write(rec); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("post-crash write err = %v", err)
+		}
+		if buf.Len() != before {
+			t.Fatal("post-crash write persisted bytes")
+		}
+	}
+	if st := in.WriterStats("crash"); st.Writes != 9 || st.Failed != 6 {
+		t.Fatalf("stats = %+v, want 9 writes / 6 failed", st)
+	}
+
+	// Same seed, same name, same kill point => same torn prefix.
+	var buf2 bytes.Buffer
+	w2 := New(99).Writer("crash", &buf2, WriteFaults{KillAfterWrites: 3})
+	for i := 0; i < 4; i++ {
+		w2.Write(rec)
+	}
+	if !bytes.Equal(buf.Bytes()[:whole+torn], buf2.Bytes()) {
+		t.Fatal("crash profile not reproducible across runs")
+	}
+}
+
+// TestChaosCrashWriterTornLogIsRecoverable drives an event-log writer
+// into seeded crashes at every write index and proves each torn result
+// repairs to a clean, strictly-prefix log: eventlog.Writer issues one
+// write for the header and one per frame, so killing after k writes must
+// recover exactly k-1 events (0 when the header itself tore).
+func TestChaosCrashWriterTornLogIsRecoverable(t *testing.T) {
+	// Header plus one write per frame: kill points 1..events all tear a
+	// frame (or, at 1, the header) mid-write.
+	const events = 12
+	for kill := 1; kill <= events; kill++ {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			var disk bytes.Buffer
+			in := New(uint64(1000 + kill))
+			w := eventlog.NewWriter(in.Writer("log", &disk, WriteFaults{KillAfterWrites: kill}))
+			for i := 0; i < events; i++ {
+				w.Append(eventlog.Event{
+					Type: eventlog.TypeImpression, Day: int32(i), Account: int32(i % 3),
+					Country: "US", Position: 1,
+				})
+			}
+			if !errors.Is(w.Err(), ErrInjectedCrash) {
+				t.Fatalf("writer error = %v, want ErrInjectedCrash", w.Err())
+			}
+
+			// The buffer now holds exactly what a dead process left on
+			// disk. Plant it as a log directory's unsealed tail.
+			dir := t.TempDir()
+			tail := filepath.Join(dir, fmt.Sprintf(eventlog.SegmentPattern, 0)+eventlog.TmpSuffix)
+			if err := os.WriteFile(tail, disk.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := eventlog.RecoverDir(dir, true)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if want := uint64(kill - 1); rep.Events != want {
+				t.Fatalf("recovered %d events, want %d", rep.Events, want)
+			}
+			rep2, err := eventlog.RecoverDir(dir, false)
+			if err != nil || !rep2.Healthy {
+				t.Fatalf("repaired log not healthy: %+v (%v)", rep2, err)
+			}
+			n := 0
+			if err := eventlog.ScanDir(dir, eventlog.Filter{}, func(ev *eventlog.Event) error {
+				if ev.Day != int32(n) {
+					return fmt.Errorf("event %d has day %d: recovered log is not a prefix", n, ev.Day)
+				}
+				n++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != kill-1 {
+				t.Fatalf("scan found %d events, want %d", n, kill-1)
+			}
+		})
+	}
+}

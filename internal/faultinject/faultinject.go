@@ -160,6 +160,11 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 // ErrInjectedWrite is the default failure WriteFaults injects.
 var ErrInjectedWrite = errors.New("faultinject: injected write failure")
 
+// ErrInjectedCrash marks the point where a crash profile killed the
+// writer: the write it is returned from persisted only a torn prefix,
+// and every write after it persisted nothing.
+var ErrInjectedCrash = errors.New("faultinject: injected crash")
+
 // WriteFaults configures an injected write-failure profile for an
 // io.Writer — the fault class event-recording sinks meet in production
 // (full disks, torn pipes, unreachable log shippers).
@@ -169,6 +174,14 @@ type WriteFaults struct {
 	// Err is the error returned on injected failures; defaults to
 	// ErrInjectedWrite.
 	Err error
+	// KillAfterWrites, when > 0, simulates the process dying mid-write:
+	// the first KillAfterWrites calls pass through untouched, call
+	// KillAfterWrites+1 persists only a seeded strict prefix of its
+	// buffer (what "hit the disk" before death) and returns
+	// ErrInjectedCrash, and every later call fails the same way without
+	// writing. The prefix length is a pure function of (injector seed,
+	// writer name, kill point), so each crash point is reproducible.
+	KillAfterWrites int
 }
 
 // writerState carries one named writer's profile and counters.
@@ -203,6 +216,16 @@ type faultyWriter struct {
 func (fw *faultyWriter) Write(p []byte) (int, error) {
 	n := fw.st.writes.Add(1)
 	f := fw.st.cfg
+	if f.KillAfterWrites > 0 && n > uint64(f.KillAfterWrites) {
+		fw.st.failed.Add(1)
+		if n == uint64(f.KillAfterWrites)+1 && len(p) > 0 {
+			// The fatal write: a seeded strict prefix makes it through,
+			// tearing whatever record it carried.
+			rng := stats.NewRNG(fw.in.seed ^ fw.nameHash ^ (n * 0x9e3779b97f4a7c15))
+			fw.w.Write(p[:int(rng.Float64()*float64(len(p)))])
+		}
+		return 0, ErrInjectedCrash
+	}
 	if f.ErrorRate > 0 {
 		rng := stats.NewRNG(fw.in.seed ^ fw.nameHash ^ (n * 0x9e3779b97f4a7c15))
 		if rng.Float64() < f.ErrorRate {

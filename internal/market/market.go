@@ -156,6 +156,10 @@ func NewFraudTargetSampler(rng *stats.RNG) *Sampler {
 	return newSampler(rng, func(m Info) float64 { return m.FraudTargetWeight })
 }
 
+// RNG exposes the sampler's generator for checkpointing; the weights are
+// pure functions of the static market table.
+func (s *Sampler) RNG() *stats.RNG { return s.rng }
+
 // Sample draws a country.
 func (s *Sampler) Sample() Country {
 	return all[stats.Categorical(s.rng, s.weights)].Country

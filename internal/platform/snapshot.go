@@ -1,0 +1,194 @@
+package platform
+
+// Checkpoint support. A Snapshot is the gob-friendly form of the whole
+// platform. Accounts, ads and bids are fully exported structs and are
+// carried wholesale; two things need explicit treatment:
+//
+//   - The eligible-bid index holds pointers into the account table and its
+//     posting lists are ordered by descending static score with ties in
+//     *insertion order* (AddBid's binary insertion is stable only for the
+//     sequence it saw). Rebuilding the index by re-inserting bids in any
+//     other order could reorder equal-score ties and change auction
+//     outcomes, so the index is serialized explicitly as (AdID, bid
+//     position) references in list order and restored by direct append.
+//
+//   - The ledger's maps are flattened to account-sorted entry lists so the
+//     encoded snapshot is byte-deterministic for a given state.
+//
+// Snapshot shares memory with the live platform: encode it (or deep-copy
+// it) before mutating the platform again.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/market"
+	"repro/internal/verticals"
+)
+
+// LedgerEntry is one account's balance in a flattened ledger map.
+type LedgerEntry struct {
+	Account AccountID
+	Amount  float64
+}
+
+// IndexRef locates one posting-list entry: the ad and the position of the
+// bid within that ad's Bids slice.
+type IndexRef struct {
+	Ad  AdID
+	Bid int32
+}
+
+// IndexEntry is one posting list with its key.
+type IndexEntry struct {
+	Vertical verticals.Vertical
+	Country  market.Country
+	Kw       int32
+	Broad    bool
+	Refs     []IndexRef
+}
+
+// Snapshot is the serializable state of a Platform.
+type Snapshot struct {
+	Accounts []*Account
+	NextAdID AdID
+	AdsLive  int
+
+	Billed      []LedgerEntry
+	Uncollected []LedgerEntry
+	TotalBilled float64
+	TotalLost   float64
+
+	Index []IndexEntry
+}
+
+// Snapshot captures the platform's full state.
+func (p *Platform) Snapshot() *Snapshot {
+	st := &Snapshot{
+		Accounts:    p.accounts,
+		NextAdID:    p.nextAdID,
+		AdsLive:     p.adsLive,
+		Billed:      ledgerEntries(p.ledger.billed),
+		Uncollected: ledgerEntries(p.ledger.uncollected),
+		TotalBilled: p.ledger.totalBilled,
+		TotalLost:   p.ledger.totalLost,
+	}
+
+	// Locate every live bid so posting-list pointers can be expressed as
+	// (AdID, position) pairs.
+	type bidPos struct {
+		ad  AdID
+		idx int32
+	}
+	pos := make(map[*KeywordBid]bidPos)
+	for _, a := range p.accounts {
+		for _, ad := range a.Ads {
+			for i, b := range ad.Bids {
+				pos[b] = bidPos{ad.ID, int32(i)}
+			}
+		}
+	}
+
+	keys := make([]indexKey, 0, len(p.index.lists))
+	for k := range p.index.lists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.vertical != b.vertical {
+			return a.vertical < b.vertical
+		}
+		if a.country != b.country {
+			return a.country < b.country
+		}
+		if a.kw != b.kw {
+			return a.kw < b.kw
+		}
+		return !a.broad && b.broad
+	})
+	st.Index = make([]IndexEntry, 0, len(keys))
+	for _, k := range keys {
+		list := p.index.lists[k]
+		e := IndexEntry{Vertical: k.vertical, Country: k.country, Kw: k.kw, Broad: k.broad, Refs: make([]IndexRef, len(list))}
+		for i, ref := range list {
+			bp, ok := pos[ref.Bid]
+			if !ok {
+				// Cannot happen with the maintained invariants (RemoveAd
+				// drops bids before Bids is released); guard anyway so a
+				// snapshot never emits a dangling reference.
+				continue
+			}
+			e.Refs[i] = IndexRef{Ad: bp.ad, Bid: bp.idx}
+		}
+		st.Index = append(st.Index, e)
+	}
+	return st
+}
+
+func ledgerEntries(m map[AccountID]float64) []LedgerEntry {
+	out := make([]LedgerEntry, 0, len(m))
+	for id, v := range m {
+		out = append(out, LedgerEntry{id, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Account < out[j].Account })
+	return out
+}
+
+// FromSnapshot rebuilds a Platform from a snapshot. All cross-references
+// are bounds-checked so hostile snapshot bytes yield an error, never a
+// panic.
+func FromSnapshot(st *Snapshot) (*Platform, error) {
+	if st == nil {
+		return nil, fmt.Errorf("platform: nil snapshot")
+	}
+	p := New()
+	p.accounts = st.Accounts
+	p.nextAdID = st.NextAdID
+	p.adsLive = st.AdsLive
+
+	adByID := make(map[AdID]*Ad)
+	for i, a := range p.accounts {
+		if a == nil {
+			return nil, fmt.Errorf("platform: snapshot account %d is nil", i)
+		}
+		if int(a.ID) != i {
+			return nil, fmt.Errorf("platform: snapshot account %d carries ID %d", i, a.ID)
+		}
+		for _, ad := range a.Ads {
+			if ad == nil {
+				return nil, fmt.Errorf("platform: snapshot account %d holds a nil ad", i)
+			}
+			adByID[ad.ID] = ad
+		}
+	}
+
+	for _, e := range st.Index {
+		k := indexKey{e.Vertical, e.Country, e.Kw, e.Broad}
+		list := make([]BidRef, 0, len(e.Refs))
+		for _, ref := range e.Refs {
+			ad, ok := adByID[ref.Ad]
+			if !ok {
+				return nil, fmt.Errorf("platform: snapshot index references unknown ad %d", ref.Ad)
+			}
+			if ref.Bid < 0 || int(ref.Bid) >= len(ad.Bids) {
+				return nil, fmt.Errorf("platform: snapshot index references bid %d of ad %d (has %d)", ref.Bid, ref.Ad, len(ad.Bids))
+			}
+			b := ad.Bids[ref.Bid]
+			if b == nil {
+				return nil, fmt.Errorf("platform: snapshot ad %d holds a nil bid", ref.Ad)
+			}
+			list = append(list, BidRef{Ad: ad, Bid: b})
+		}
+		p.index.lists[k] = list
+	}
+
+	for _, e := range st.Billed {
+		p.ledger.billed[e.Account] = e.Amount
+	}
+	for _, e := range st.Uncollected {
+		p.ledger.uncollected[e.Account] = e.Amount
+	}
+	p.ledger.totalBilled = st.TotalBilled
+	p.ledger.totalLost = st.TotalLost
+	return p, nil
+}

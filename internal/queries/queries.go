@@ -8,6 +8,8 @@
 package queries
 
 import (
+	"fmt"
+
 	"repro/internal/adcopy"
 	"repro/internal/market"
 	"repro/internal/platform"
@@ -61,6 +63,43 @@ func NewGenerator(rng *stats.RNG) *Generator {
 		g.zipfs[i] = stats.NewZipf(zrng.ForkNamed(string(v.Name)), 1.45, 2.0, uint64(g.universes[i].Size()))
 	}
 	return g
+}
+
+// GeneratorState is the serializable state of a Generator: every RNG
+// stream position it owns. The keyword universes, vertical weights and
+// Zipf shape parameters are pure functions of the verticals table and are
+// rebuilt by NewGenerator.
+type GeneratorState struct {
+	RNG       stats.RNGState
+	Countries stats.RNGState
+	Zipfs     []stats.RNGState
+}
+
+// State captures the generator's RNG stream positions.
+func (g *Generator) State() GeneratorState {
+	st := GeneratorState{
+		RNG:       g.rng.State(),
+		Countries: g.countries.RNG().State(),
+		Zipfs:     make([]stats.RNGState, len(g.zipfs)),
+	}
+	for i, z := range g.zipfs {
+		st.Zipfs[i] = z.RNG().State()
+	}
+	return st
+}
+
+// SetState restores stream positions captured by State onto a generator
+// built by NewGenerator with the same verticals table.
+func (g *Generator) SetState(st GeneratorState) error {
+	if len(st.Zipfs) != len(g.zipfs) {
+		return fmt.Errorf("queries: snapshot has %d zipf streams, generator has %d", len(st.Zipfs), len(g.zipfs))
+	}
+	g.rng.SetState(st.RNG)
+	g.countries.RNG().SetState(st.Countries)
+	for i, z := range g.zipfs {
+		z.RNG().SetState(st.Zipfs[i])
+	}
+	return nil
 }
 
 // Universe returns the keyword universe for the vertical at index i in

@@ -1,0 +1,81 @@
+package sim_test
+
+// FuzzRestoreCheckpoint feeds hostile bytes through the full resume path:
+// DecodeCheckpoint (framing, CRC, guarded gob decode) and, when that
+// accepts, Restore. Neither may ever panic — a corrupt checkpoint must
+// come back as an error, and a checkpoint that restores must land on the
+// day it recorded.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func FuzzRestoreCheckpoint(f *testing.F) {
+	// Seed with a real mid-run checkpoint plus structured corruptions of
+	// it: torn tails, flipped payload bytes, and CRC-valid blobs whose
+	// decoded state is nonsense (those must be caught by Restore's own
+	// validation, not the framing).
+	cfg := crashConfig(3)
+	cfg.Days = 6
+	cfg.QueriesPerDay = 100
+	cfg.RegistrationsPerDay = 4
+	cfg.InitialLegit = 40
+	s := sim.New(cfg)
+	for int(s.Day()) < 3 {
+		if !s.Step() {
+			f.Fatal("horizon ended before checkpoint day")
+		}
+	}
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.frsnap")
+	if err := s.WriteCheckpointFile(path, sim.LogPosition{NextSegment: 2, Events: 17}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add([]byte("FRSNAP\x01"))
+	f.Add([]byte("FRSNAP\x02junk"))
+	for _, i := range []int{7, len(valid) / 3, len(valid) - 5} {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	// CRC-valid but semantically hostile: re-frame a decoded checkpoint
+	// after vandalizing its state.
+	c, err := sim.DecodeCheckpoint(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c.State.Day = -1
+	if err := sim.WriteCheckpoint(path, c); err != nil {
+		f.Fatal(err)
+	}
+	if hostile, err := os.ReadFile(path); err == nil {
+		f.Add(hostile)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		restored, err := sim.Restore(c.State)
+		if err != nil {
+			return // decoded but invalid: also fine, as long as it's an error
+		}
+		if restored.Day() != c.State.Day {
+			t.Fatalf("restored sim at day %d, checkpoint says %d", restored.Day(), c.State.Day)
+		}
+	})
+}

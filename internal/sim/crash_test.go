@@ -1,0 +1,276 @@
+// Crash-chaos suite: the checkpoint/recovery subsystem's contract is
+// that kill -9 at an arbitrary moment costs nothing but the tail since
+// the last checkpoint — recover + restore + continue lands on the exact
+// deterministic trajectory of a run that never crashed. These tests
+// prove it at dataset-digest granularity across a sweep of seeded kill
+// points, tearing the event log's unsealed tail the way a dead process
+// would. (`make crash` runs TestCrash*.)
+package sim_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+// crashConfig is deliberately small: the sweep below simulates a couple
+// dozen partial runs.
+func crashConfig(seed uint64) sim.Config {
+	cfg := sim.SmallConfig()
+	cfg.Seed = seed
+	cfg.Days = 26
+	cfg.QueriesPerDay = 350
+	cfg.RegistrationsPerDay = 10
+	cfg.InitialLegit = 150
+	return cfg
+}
+
+// stepWithCheckpoints advances s day by day, rotating the log and
+// writing a checkpoint every `every` days. With stopDay >= 0 it abandons
+// the run at that day boundary — no Finish, no log Close — exactly the
+// state a killed process leaves. Otherwise it runs to completion.
+func stepWithCheckpoints(t *testing.T, s *sim.Sim, dw *eventlog.DirWriter, ckpt string, every int, stopDay int) *sim.Result {
+	t.Helper()
+	for {
+		if every > 0 && int(s.Day()) > 0 && int(s.Day())%every == 0 {
+			if err := dw.Rotate(); err != nil {
+				t.Fatalf("rotate at day %d: %v", s.Day(), err)
+			}
+			pos := sim.LogPosition{NextSegment: dw.NextSegment(), Events: dw.Events()}
+			if err := s.WriteCheckpointFile(ckpt, pos); err != nil {
+				t.Fatalf("checkpoint at day %d: %v", s.Day(), err)
+			}
+		}
+		if stopDay >= 0 && int(s.Day()) >= stopDay {
+			return nil // crashed: abandon everything mid-flight
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return s.Finish()
+}
+
+// crashBaseline memoizes the uninterrupted reference run: its result
+// digest and the replay digests of its event log.
+var crashBaseline struct {
+	fingerprint string
+	replay      testutil.CollectorDigestSet
+}
+
+func baselineDigests(t *testing.T) (string, testutil.CollectorDigestSet) {
+	t.Helper()
+	if crashBaseline.fingerprint == "" {
+		cfg := crashConfig(1234)
+		dir := t.TempDir()
+		dw, err := eventlog.NewDirWriter(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Events = dw
+		s := sim.New(cfg)
+		res := stepWithCheckpoints(t, s, dw, "", 0, -1)
+		if err := dw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Digest equality below is only meaningful if the run does things.
+		if res.Clicks == 0 || res.FraudClicks == 0 || res.Registrations == 0 {
+			t.Fatalf("baseline run is degenerate: %d clicks, %d fraud, %d regs",
+				res.Clicks, res.FraudClicks, res.Registrations)
+		}
+		crashBaseline.fingerprint = testutil.DigestResult(res).Fingerprint
+		col, err := dataset.ReplayDir(dir, cfg.Windows, cfg.SampleWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashBaseline.replay = testutil.CollectorDigests(col)
+	}
+	return crashBaseline.fingerprint, crashBaseline.replay
+}
+
+// TestCrashResumeDigestIdentical is the acceptance sweep: for 21 seeded
+// kill points spread over the horizon, crash the run (abandoning the
+// writer and tearing the unsealed tail at a seeded byte offset), then
+// recover the log, restore the latest checkpoint, and run to the end.
+// Both the final result digest and the replayed-log digests must equal
+// the uninterrupted run's, every time.
+func TestCrashResumeDigestIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many partial simulations")
+	}
+	wantFP, wantReplay := baselineDigests(t)
+	const every = 4
+
+	for crashDay := 5; crashDay <= 25; crashDay++ {
+		crashDay := crashDay
+		t.Run(fmt.Sprintf("killday=%d", crashDay), func(t *testing.T) {
+			cfg := crashConfig(1234)
+			dir := t.TempDir()
+			ckpt := filepath.Join(t.TempDir(), "checkpoint.frsnap")
+			dw, err := eventlog.NewDirWriter(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Events = dw
+			if res := stepWithCheckpoints(t, sim.New(cfg), dw, ckpt, every, crashDay); res != nil {
+				t.Fatal("crash run was not abandoned")
+			}
+
+			// Tear the unsealed tail at a seeded offset, simulating the
+			// final write dying partway to the platter.
+			rng := stats.NewRNG(uint64(crashDay) * 7919)
+			tmps, _ := filepath.Glob(filepath.Join(dir, "events-*.evlog"+eventlog.TmpSuffix))
+			for _, tmp := range tmps {
+				b, err := os.ReadFile(tmp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keep := int(rng.Float64() * float64(len(b)+1))
+				if err := os.WriteFile(tmp, b[:keep], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Recover + restore + continue: the resume path fraudsim runs.
+			if _, err := eventlog.RecoverDir(dir, true); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			c, err := sim.ReadCheckpoint(ckpt)
+			if err != nil {
+				t.Fatalf("read checkpoint: %v", err)
+			}
+			if gotDay := int(c.State.Day); gotDay > crashDay || crashDay-gotDay >= 2*every {
+				t.Fatalf("checkpoint at day %d is stale for crash at day %d", gotDay, crashDay)
+			}
+			if err := eventlog.TruncateToSegment(dir, c.Log.NextSegment); err != nil {
+				t.Fatal(err)
+			}
+			dw2, err := eventlog.NewDirWriterAt(dir, c.Log.NextSegment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := sim.Restore(c.State)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			s2.SetEvents(dw2)
+			res := stepWithCheckpoints(t, s2, dw2, ckpt, every, -1)
+			if err := dw2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if got := testutil.DigestResult(res).Fingerprint; got != wantFP {
+				t.Errorf("resumed result digest %s, uninterrupted run has %s", got, wantFP)
+			}
+			col, err := dataset.ReplayDir(dir, cfg.Windows, cfg.SampleWindow)
+			if err != nil {
+				t.Fatalf("replay recovered log: %v", err)
+			}
+			if got := testutil.CollectorDigests(col); got != wantReplay {
+				t.Errorf("replayed log digests diverge:\n got %+v\nwant %+v", got, wantReplay)
+			}
+		})
+	}
+}
+
+// TestCrashCheckpointRoundTrip proves Snapshot/Restore is lossless
+// mid-run: snapshot at a day boundary, serialize, restore, and both
+// copies must finish with identical digests. Snapshot encoding is also
+// byte-deterministic, so checkpoint files diff cleanly.
+func TestCrashCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := crashConfig(77)
+	s := sim.New(cfg)
+	for int(s.Day()) < 10 {
+		if !s.Step() {
+			t.Fatal("horizon ended before snapshot day")
+		}
+	}
+	encode := func() []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	enc1, enc2 := encode(), encode()
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("snapshot encoding is not byte-deterministic")
+	}
+
+	var st sim.State
+	if err := gob.NewDecoder(bytes.NewReader(enc1)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sim.Restore(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Day() != s.Day() {
+		t.Fatalf("restored day %d, want %d", restored.Day(), s.Day())
+	}
+	finish := func(x *sim.Sim) string {
+		for x.Step() {
+		}
+		return testutil.DigestResult(x.Finish()).Fingerprint
+	}
+	if a, b := finish(s), finish(restored); a != b {
+		t.Fatalf("restored run diverged: %s vs %s", b, a)
+	}
+}
+
+// TestCrashCheckpointFileRoundTrip covers the file layer: atomic write,
+// validated read, and rejection of a corrupted byte.
+func TestCrashCheckpointFileRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	cfg := crashConfig(5)
+	cfg.Days = 8
+	s := sim.New(cfg)
+	for int(s.Day()) < 4 {
+		s.Step()
+	}
+	path := filepath.Join(t.TempDir(), "ck.frsnap")
+	if err := s.WriteCheckpointFile(path, sim.LogPosition{NextSegment: 3, Events: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sim.ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Log.NextSegment != 3 || c.Log.Events != 42 || c.State.Day != s.Day() {
+		t.Fatalf("checkpoint round trip: %+v, day %d", c.Log, c.State.Day)
+	}
+	if _, err := sim.Restore(c.State); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any single corrupted byte must be caught by the CRC (or the magic
+	// check), never decoded into a half-broken sim.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 6, len(b) / 2, len(b) - 1} {
+		mut := bytes.Clone(b)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.ReadCheckpoint(path); err == nil {
+			t.Errorf("corrupted byte %d accepted", i)
+		}
+	}
+}

@@ -183,6 +183,12 @@ type Sim struct {
 
 	events eventlog.Sink
 
+	// day is the next day to simulate; seeded records whether the initial
+	// population warmup has run. Together they are the resume cursor.
+	day     simclock.Day
+	seeded  bool
+	started time.Time
+
 	res Result
 }
 
@@ -191,20 +197,25 @@ func New(cfg Config) *Sim {
 	if cfg.Days <= 0 {
 		cfg.Days = simclock.Horizon
 	}
+	s := newWired(cfg, platform.New(), dataset.NewCollector(cfg.Windows, cfg.SampleWindow))
+	if cfg.Events != nil {
+		s.SetEvents(cfg.Events)
+	}
+	return s
+}
+
+// newWired builds the object graph around an existing platform and
+// collector. It is the shared core of New and Restore: construction (and
+// its RNG forking order) is identical in both paths; Restore then
+// overwrites every mutable stream and table.
+func newWired(cfg Config, p *platform.Platform, col *dataset.Collector) *Sim {
 	root := stats.NewRNG(cfg.Seed)
-	p := platform.New()
-	col := dataset.NewCollector(cfg.Windows, cfg.SampleWindow)
 	qgen := queries.NewGenerator(root.ForkNamed("queries"))
 	factory := agents.NewFactory(root.ForkNamed("factory"))
 	factory.SetPocketsDisabled(cfg.DisableKeywordPockets)
 	runtime := agents.NewRuntime(p, col, qgen.Universe, root.ForkNamed("runtime"))
 	runtime.FullCreatives = cfg.FullCreatives
 	pipeline := detection.New(cfg.Detection, root.ForkNamed("pipeline"), p, col, cfg.Days)
-	if cfg.Events != nil {
-		p.SetEvents(cfg.Events)
-		runtime.Events = cfg.Events
-		pipeline.Events = cfg.Events
-	}
 	return &Sim{
 		cfg:           cfg,
 		rng:           root,
@@ -219,9 +230,27 @@ func New(cfg Config) *Sim {
 		clickRNG:      root.ForkNamed("clicks"),
 		fraudProfiles: make(map[platform.AccountID]agents.Profile),
 		pendingReregs: make(map[simclock.Day][]agents.Profile),
-		events:        cfg.Events,
 		res:           Result{Config: cfg, Platform: p, Collector: col, ShutdownsByStage: nil},
 	}
+}
+
+// SetEvents attaches (or, with nil, detaches) the event sink on the sim
+// and every emitting component. Restore uses it to reattach a sink that
+// could not travel through the snapshot.
+func (s *Sim) SetEvents(sink eventlog.Sink) {
+	s.events = sink
+	s.cfg.Events = sink
+	s.res.Config.Events = sink
+	s.p.SetEvents(sink)
+	s.runtime.Events = sink
+	s.pipeline.Events = sink
+}
+
+// SetProgress attaches a progress callback (Restore cannot carry one
+// through the snapshot).
+func (s *Sim) SetProgress(fn func(string)) {
+	s.cfg.Progress = fn
+	s.res.Config.Progress = fn
 }
 
 // Platform exposes the underlying ad network (read access for analyses).
@@ -336,29 +365,58 @@ func (s *Sim) seedInitialPopulation() {
 	}
 }
 
-// Run executes the simulation and returns the result. It may be called
-// once per Sim.
+// Run executes the simulation to the horizon and returns the result. On a
+// fresh Sim it runs the whole span; on a restored Sim it continues from
+// the checkpointed day.
 func (s *Sim) Run() *Result {
-	start := time.Now()
-	s.seedInitialPopulation()
-
-	for day := simclock.Day(0); day < s.cfg.Days; day++ {
-		s.stepDay(day)
-		if s.cfg.Progress != nil && int(day)%30 == 29 {
-			fraudAlive := 0
-			for _, a := range s.live {
-				acct := s.p.MustAccount(a.Account)
-				if acct.Fraud && acct.Alive() {
-					fraudAlive++
-				}
-			}
-			s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
-				day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, fraudAlive))
-		}
+	for s.Step() {
 	}
+	return s.Finish()
+}
 
+// Day returns the next day the simulation will run (0 before the first
+// Step; the checkpointed day on a restored Sim).
+func (s *Sim) Day() simclock.Day { return s.day }
+
+// Step advances the simulation by one day. The first call on a fresh Sim
+// also seeds the initial population. It returns false — without running
+// anything — once the horizon is reached, so `for s.Step() {}` drives a
+// run to completion.
+func (s *Sim) Step() bool {
+	if s.day >= s.cfg.Days {
+		return false
+	}
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	if !s.seeded {
+		s.seedInitialPopulation()
+		s.seeded = true
+	}
+	day := s.day
+	s.stepDay(day)
+	s.day++
+	if s.cfg.Progress != nil && int(day)%30 == 29 {
+		fraudAlive := 0
+		for _, a := range s.live {
+			acct := s.p.MustAccount(a.Account)
+			if acct.Fraud && acct.Alive() {
+				fraudAlive++
+			}
+		}
+		s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
+			day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, fraudAlive))
+	}
+	return s.day < s.cfg.Days
+}
+
+// Finish seals the result after the last Step. Elapsed covers only this
+// process's share of a resumed run.
+func (s *Sim) Finish() *Result {
 	s.res.ShutdownsByStage = s.pipeline.Shutdowns
-	s.res.Elapsed = time.Since(start)
+	if !s.started.IsZero() {
+		s.res.Elapsed = time.Since(s.started)
+	}
 	return &s.res
 }
 

@@ -1,0 +1,195 @@
+package sim
+
+// Checkpoint support: State is the complete serializable state of a
+// running simulation at a day boundary. The restore strategy is
+// "reconstruct, then overwrite": Restore builds the object graph exactly
+// the way New does (same construction order, same named RNG forks, same
+// immutable tables — keyword universes, market weights, Zipf parameters),
+// then overwrites every mutable piece: RNG stream positions, the platform
+// tables and bid index (with posting-list tie order preserved — see
+// platform.Snapshot), the collector aggregates, the detection pipeline's
+// per-account records, the agent population, and the engine's own
+// counters and cursors. A restored Sim continues the same deterministic
+// trajectory as the original: the crash-chaos suite in this package
+// proves digest-identity against uninterrupted runs.
+//
+// Two Config fields cannot travel through a snapshot: Progress (a func,
+// which gob ignores) and Events (an interface, nil'd before encoding so
+// gob skips it). Callers reattach both via SetProgress and SetEvents.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/dataset"
+	"repro/internal/detection"
+	"repro/internal/platform"
+	"repro/internal/queries"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Counters are the Result's accumulated run totals.
+type Counters struct {
+	Registrations      int
+	FraudRegistrations int
+	Compromises        int
+	Auctions           int64
+	Impressions        int64
+	Clicks             int64
+	FraudClicks        int64
+	Spend              float64
+	FraudSpend         float64
+	RevenueLost        float64
+}
+
+// FraudProfileEntry is one remembered fraud profile, keyed by account.
+type FraudProfileEntry struct {
+	ID      platform.AccountID
+	Profile agents.Profile
+}
+
+// PendingRereg is one day's scheduled actor returns, in scheduling order.
+type PendingRereg struct {
+	Day      simclock.Day
+	Profiles []agents.Profile
+}
+
+// State is the full serializable state of a Sim at a day boundary.
+type State struct {
+	Config Config
+	Day    simclock.Day
+	Seeded bool
+
+	Counters Counters
+
+	RootRNG  stats.RNGState
+	ArrRNG   stats.RNGState
+	ClickRNG stats.RNGState
+
+	Platform  *platform.Snapshot
+	Collector *dataset.CollectorState
+	Pipeline  *detection.PipelineState
+	Queries   queries.GeneratorState
+	Factory   agents.FactoryState
+	Runtime   agents.RuntimeState
+
+	Live          []agents.AgentState
+	FraudProfiles []FraudProfileEntry
+	PendingReregs []PendingRereg
+}
+
+// Snapshot captures the simulation's full state. It must be called at a
+// day boundary (between Steps, never mid-Step) and the returned State
+// shares memory with the live sim: encode it before stepping further.
+func (s *Sim) Snapshot() *State {
+	cfg := s.cfg
+	cfg.Progress = nil
+	cfg.Events = nil
+	st := &State{
+		Config: cfg,
+		Day:    s.day,
+		Seeded: s.seeded,
+		Counters: Counters{
+			Registrations:      s.res.Registrations,
+			FraudRegistrations: s.res.FraudRegistrations,
+			Compromises:        s.res.Compromises,
+			Auctions:           s.res.Auctions,
+			Impressions:        s.res.Impressions,
+			Clicks:             s.res.Clicks,
+			FraudClicks:        s.res.FraudClicks,
+			Spend:              s.res.Spend,
+			FraudSpend:         s.res.FraudSpend,
+			RevenueLost:        s.res.RevenueLost,
+		},
+		RootRNG:   s.rng.State(),
+		ArrRNG:    s.arrRNG.State(),
+		ClickRNG:  s.clickRNG.State(),
+		Platform:  s.p.Snapshot(),
+		Collector: s.col.State(),
+		Pipeline:  s.pipeline.State(),
+		Queries:   s.qgen.State(),
+		Factory:   s.factory.State(),
+		Runtime:   s.runtime.State(),
+	}
+	st.Live = make([]agents.AgentState, len(s.live))
+	for i, a := range s.live {
+		st.Live[i] = a.State()
+	}
+	for id, prof := range s.fraudProfiles {
+		st.FraudProfiles = append(st.FraudProfiles, FraudProfileEntry{id, prof})
+	}
+	sort.Slice(st.FraudProfiles, func(i, j int) bool { return st.FraudProfiles[i].ID < st.FraudProfiles[j].ID })
+	for day, profs := range s.pendingReregs {
+		st.PendingReregs = append(st.PendingReregs, PendingRereg{day, profs})
+	}
+	sort.Slice(st.PendingReregs, func(i, j int) bool { return st.PendingReregs[i].Day < st.PendingReregs[j].Day })
+	return st
+}
+
+// Restore rebuilds a Sim from a snapshot. Every cross-reference is
+// validated so hostile snapshot bytes yield an error, never a panic.
+// Progress and Events are not restored; reattach them with SetProgress
+// and SetEvents before Run.
+func Restore(st *State) (*Sim, error) {
+	if st == nil {
+		return nil, fmt.Errorf("sim: nil state")
+	}
+	cfg := st.Config
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("sim: snapshot config has non-positive horizon %d", cfg.Days)
+	}
+	if st.Day < 0 || st.Day > cfg.Days {
+		return nil, fmt.Errorf("sim: snapshot day %d outside horizon %d", st.Day, cfg.Days)
+	}
+	p, err := platform.FromSnapshot(st.Platform)
+	if err != nil {
+		return nil, err
+	}
+	col := dataset.NewCollector(cfg.Windows, cfg.SampleWindow)
+	if err := col.SetState(st.Collector); err != nil {
+		return nil, err
+	}
+	s := newWired(cfg, p, col)
+	if err := s.pipeline.SetState(st.Pipeline); err != nil {
+		return nil, err
+	}
+	if err := s.qgen.SetState(st.Queries); err != nil {
+		return nil, err
+	}
+	s.factory.SetState(st.Factory)
+	s.runtime.SetState(st.Runtime)
+	s.rng.SetState(st.RootRNG)
+	s.arrRNG.SetState(st.ArrRNG)
+	s.clickRNG.SetState(st.ClickRNG)
+
+	s.live = make([]*agents.Agent, len(st.Live))
+	for i, as := range st.Live {
+		if int(as.Account) < 0 || int(as.Account) >= p.NumAccounts() {
+			return nil, fmt.Errorf("sim: snapshot agent %d references unknown account %d", i, as.Account)
+		}
+		s.live[i] = agents.RestoreAgent(as)
+	}
+	for _, e := range st.FraudProfiles {
+		s.fraudProfiles[e.ID] = e.Profile
+	}
+	for _, e := range st.PendingReregs {
+		s.pendingReregs[e.Day] = e.Profiles
+	}
+
+	s.res.Registrations = st.Counters.Registrations
+	s.res.FraudRegistrations = st.Counters.FraudRegistrations
+	s.res.Compromises = st.Counters.Compromises
+	s.res.Auctions = st.Counters.Auctions
+	s.res.Impressions = st.Counters.Impressions
+	s.res.Clicks = st.Counters.Clicks
+	s.res.FraudClicks = st.Counters.FraudClicks
+	s.res.Spend = st.Counters.Spend
+	s.res.FraudSpend = st.Counters.FraudSpend
+	s.res.RevenueLost = st.Counters.RevenueLost
+
+	s.day = st.Day
+	s.seeded = st.Seeded
+	return s, nil
+}

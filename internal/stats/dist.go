@@ -32,6 +32,11 @@ func NewZipf(rng *RNG, s, v float64, n uint64) *Zipf {
 	return z
 }
 
+// RNG exposes the sampler's generator so checkpointing can capture and
+// restore its stream position; the other fields are pure functions of the
+// NewZipf parameters.
+func (z *Zipf) RNG() *RNG { return z.rng }
+
 func (z *Zipf) h(x float64) float64 {
 	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
 }
@@ -68,6 +73,9 @@ type LogNormal struct {
 func NewLogNormal(rng *RNG, mu, sigma float64) *LogNormal {
 	return &LogNormal{rng: rng, Mu: mu, Sigma: sigma}
 }
+
+// RNG exposes the sampler's generator for checkpointing.
+func (l *LogNormal) RNG() *RNG { return l.rng }
 
 // Sample draws the next lognormal deviate.
 func (l *LogNormal) Sample() float64 {

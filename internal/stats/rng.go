@@ -21,6 +21,18 @@ type RNG struct {
 	s [4]uint64
 }
 
+// RNGState is the exported form of an RNG's internal state, used by the
+// checkpoint layer to serialize and later restore a stream mid-sequence.
+type RNGState [4]uint64
+
+// State returns the generator's current state. Restoring it with
+// SetState resumes the stream at exactly the same point.
+func (r *RNG) State() RNGState { return RNGState(r.s) }
+
+// SetState overwrites the generator's state with one previously captured
+// by State.
+func (r *RNG) SetState(st RNGState) { r.s = [4]uint64(st) }
+
 // NewRNG returns a generator deterministically derived from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
