@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash verify golden bench fuzz-smoke
+.PHONY: build vet test race chaos crash verify golden bench bench-serving fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ golden:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-serving measures the parallel serving loop — sequential vs
+# Workers=GOMAXPROCS at MediumConfig — and records queries/sec and
+# ns/query in BENCH_serving.json. The report includes GOMAXPROCS, so
+# numbers from different hosts are comparable at a glance.
+bench-serving:
+	$(GO) test ./internal/sim -run TestWriteServingBenchJSON \
+		-bench-serving-out $(CURDIR)/BENCH_serving.json -timeout 20m -v
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the
 # corpus plus a short exploration burst.

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	fraudsim [-scale small|medium|full] [-seed N] [-days N]
-//	         [-queries N] [-regs F] [-v] [-export DIR]
+//	         [-queries N] [-regs F] [-workers N] [-v] [-export DIR]
 //	         [-eventlog DIR] [-sync none|rotate|interval]
 //	         [-checkpoint PATH] [-checkpoint-every N]
 //	         [-resume PATH]
+//	         [-cpuprofile PATH] [-memprofile PATH]
+//
+// -workers shards each day's query serving across N goroutines; 0 (the
+// default) uses every available CPU. Results are byte-identical across
+// worker counts, so the flag is a pure throughput knob.
 //
 // With -checkpoint-every N the simulator writes a crash-safe snapshot to
 // the -checkpoint file every N simulated days (aligned with an event-log
@@ -17,7 +22,13 @@
 // checkpoint's segment boundary, the simulation state is restored, and
 // the run continues on the exact deterministic trajectory of an
 // uninterrupted run. Run parameters (-scale, -seed, -days, -queries,
-// -regs) come from the checkpoint and cannot be overridden on resume.
+// -regs) come from the checkpoint and cannot be overridden on resume;
+// -workers CAN be overridden on resume — worker count does not affect
+// the trajectory, so a run may resume on a differently-sized machine.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU over
+// the whole simulation loop; heap at exit, after a final GC) for
+// `go tool pprof`.
 package main
 
 import (
@@ -26,6 +37,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/dataset"
@@ -50,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	days := fs.Int("days", 0, "override simulated days (0 = scale default)")
 	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
 	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
+	workers := fs.Int("workers", 0, "serving worker goroutines (0 = all CPUs; any value gives identical results)")
 	verbose := fs.Bool("v", false, "print progress every 30 simulated days")
 	export := fs.String("export", "", "directory to write the three datasets as JSON lines")
 	evDir := fs.String("eventlog", "", "directory to write the run's append-only event log (inspect with logtool)")
@@ -57,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ckptPath := fs.String("checkpoint", "", "checkpoint file to write (with -checkpoint-every)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "write a checkpoint every N simulated days (0 = never)")
 	resume := fs.String("resume", "", "resume a killed run from this checkpoint file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,11 +94,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		logBase uint64 // events already in the log before this process
 	)
 	if *resume != "" {
+		// -workers is deliberately absent from the override rejection:
+		// worker count does not affect the trajectory, so a resumed run
+		// may use a different one (e.g. on a differently-sized machine).
 		var bad []string
+		workersSet := false
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "scale", "seed", "days", "queries", "regs":
 				bad = append(bad, "-"+f.Name)
+			case "workers":
+				workersSet = true
 			}
 		})
 		if len(bad) > 0 {
@@ -122,6 +144,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if dw != nil {
 			s.SetEvents(dw)
 		}
+		if workersSet {
+			s.SetWorkers(*workers)
+		}
 		if *verbose {
 			s.SetProgress(func(line string) { fmt.Fprintln(stderr, line) })
 		}
@@ -141,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *regs > 0 {
 			cfg.RegistrationsPerDay = *regs
 		}
+		cfg.Workers = *workers
 		if *verbose {
 			cfg.Progress = func(s string) { fmt.Fprintln(stderr, s) }
 		}
@@ -153,6 +179,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			cfg.Events = dw
 		}
 		s = sim.New(cfg)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("fraudsim: cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	startDay := s.Day()
@@ -182,6 +223,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "datasets written to %s/{customers,activity,detections}.jsonl\n", *export)
+	}
+
+	if *memProfile != "" {
+		runtime.GC() // report live heap, not transient garbage
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("fraudsim: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -88,6 +88,89 @@ func TestRunRejectsResumeWithOverrides(t *testing.T) {
 	}
 }
 
+// TestRunWorkersAndProfiles covers the serving-parallelism and profiling
+// flags: a multi-worker run must export byte-identical datasets to a
+// sequential run of the same seed, a checkpoint resumed with a different
+// -workers value must land on the same datasets, and the pprof flags
+// must leave non-empty profile files behind.
+func TestRunWorkersAndProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	base := []string{"-scale", "small", "-seed", "7", "-days", "40", "-queries", "400", "-regs", "8"}
+	exportOf := func(dir string) map[string]string {
+		t.Helper()
+		out := make(map[string]string)
+		for _, name := range []string{"customers.jsonl", "activity.jsonl", "detections.jsonl"} {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = string(b)
+		}
+		return out
+	}
+
+	seqOut := t.TempDir()
+	var sb strings.Builder
+	if err := run(append(base[:len(base):len(base)], "-workers", "1", "-export", seqOut), &sb, &sb); err != nil {
+		t.Fatalf("sequential run: %v\n%s", err, sb.String())
+	}
+	want := exportOf(seqOut)
+
+	parOut := t.TempDir()
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	sb.Reset()
+	if err := run(append(base[:len(base):len(base)],
+		"-workers", "3", "-export", parOut,
+		"-cpuprofile", cpu, "-memprofile", mem), &sb, &sb); err != nil {
+		t.Fatalf("parallel run: %v\n%s", err, sb.String())
+	}
+	for name, w := range want {
+		if got := exportOf(parOut)[name]; got != w {
+			t.Errorf("%s differs between -workers 1 and -workers 3 runs", name)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+
+	// A checkpoint taken mid-run resumes with a different worker count —
+	// the one run parameter that may legally change across a resume.
+	cfg := sim.SmallConfig()
+	cfg.Seed = 7
+	cfg.Days = 40
+	cfg.QueriesPerDay = 400
+	cfg.RegistrationsPerDay = 8
+	s := sim.New(cfg)
+	for int(s.Day()) < 20 {
+		if !s.Step() {
+			t.Fatal("horizon ended early")
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "ck.frsnap")
+	if err := s.WriteCheckpointFile(ckpt, sim.LogPosition{}); err != nil {
+		t.Fatal(err)
+	}
+	resOut := t.TempDir()
+	sb.Reset()
+	if err := run([]string{"-resume", ckpt, "-workers", "2", "-export", resOut}, &sb, &sb); err != nil {
+		t.Fatalf("resume with -workers: %v\n%s", err, sb.String())
+	}
+	for name, w := range want {
+		if got := exportOf(resOut)[name]; got != w {
+			t.Errorf("%s differs after resuming with a different worker count", name)
+		}
+	}
+}
+
 // TestCrashChildProcess is the re-exec helper for the subprocess-kill
 // harness below: it runs fraudsim's real entry point so the parent can
 // SIGKILL an actual process mid-run.

@@ -275,62 +275,86 @@ func (c *Collector) windowAggFor(a *AccountAgg, day simclock.Day) []*WindowAgg {
 //	fraudComp  — another fraud advertiser's ad was on the same page
 //	clicked    — the user clicked
 //	price      — the billed CPC if clicked, else 0
+// The fold is split into two lanes shared with the sharded serving path
+// (see shard.go): an impression lane of pure counter increments, which
+// commute and can therefore be pre-summed per shard and merged at a day
+// barrier, and a click lane carrying every float accumulation (spend),
+// which the engine applies strictly in global click order so that
+// floating-point addition order — and with it the canonical digests — is
+// identical to sequential serving.
 func (c *Collector) Impression(day simclock.Day, acct platform.AccountID, fraud bool,
 	vertical int, country market.Country, position int, match platform.MatchType,
 	fraudComp, clicked bool, price float64) {
 
 	a := c.agg(acct)
-	wk := a.week(int32(day.Week()))
-	wk.Impressions++
-	if clicked {
-		wk.Clicks++
-		wk.Spend += price
-	}
-
+	a.week(int32(day.Week())).Impressions++
 	for _, w := range c.windowAggFor(a, day) {
 		w.Impressions++
-		pos := position - 1
-		if pos >= len(w.PosOrganic) {
-			pos = len(w.PosOrganic) - 1
-		}
+		pos := posBucket(position)
 		if fraudComp {
 			w.InflImpressions++
 			w.PosInfluenced[pos]++
 		} else {
 			w.PosOrganic[pos]++
 		}
-		if clicked {
-			w.Clicks++
-			w.Spend += price
-			if fraudComp {
-				w.InflClicks++
-				w.InflSpend += price
-			}
+	}
+	if clicked {
+		c.clickFold(a, day, fraud, vertical, country, match, fraudComp, price)
+	}
+}
+
+// posBucket maps a 1-based page position onto the histogram bucket index.
+func posBucket(position int) int {
+	pos := position - 1
+	if pos >= posBuckets {
+		pos = posBuckets - 1
+	}
+	return pos
+}
+
+const posBuckets = 20 // len(WindowAgg.PosOrganic)
+
+// clickFold is the click lane of the impression fold: everything that
+// only happens on a clicked impression, including every float (spend)
+// accumulation. Sharded serving calls it through ApplyClick in global
+// click order.
+func (c *Collector) clickFold(a *AccountAgg, day simclock.Day, fraud bool,
+	vertical int, country market.Country, match platform.MatchType,
+	fraudComp bool, price float64) {
+
+	wk := a.week(int32(day.Week()))
+	wk.Clicks++
+	wk.Spend += price
+
+	for _, w := range c.windowAggFor(a, day) {
+		w.Clicks++
+		w.Spend += price
+		if fraudComp {
+			w.InflClicks++
+			w.InflSpend += price
 		}
 	}
 
-	if clicked {
-		a.ClicksByMatch[match]++
-		if fraud {
-			c.fraudClicksByMonth[day.MonthIndex()] += 1
-			if a.MonthVerticalSpend == nil {
-				a.MonthVerticalSpend = make(map[int32]float64, 4)
-			}
-			a.MonthVerticalSpend[PackMonthVertical(day.MonthIndex(), vertical)] += price
+	a.ClicksByMatch[match]++
+	if fraud {
+		c.fraudClicksByMonth[day.MonthIndex()] += 1
+		if a.MonthVerticalSpend == nil {
+			a.MonthVerticalSpend = make(map[int32]float64, 4)
 		}
-		if c.sampleWindow.Contains(day) {
-			fs := c.clicksByCountry[country]
-			if fs == nil {
-				fs = &FraudSplit{}
-				c.clicksByCountry[country] = fs
-			}
-			if fraud {
-				fs.Fraud++
-				c.clicksByMatch[match].Fraud++
-			} else {
-				fs.Nonfraud++
-				c.clicksByMatch[match].Nonfraud++
-			}
+		a.MonthVerticalSpend[PackMonthVertical(day.MonthIndex(), vertical)] += price
+	}
+	if c.sampleWindow.Contains(day) {
+		fs := c.clicksByCountry[country]
+		if fs == nil {
+			fs = &FraudSplit{}
+			c.clicksByCountry[country] = fs
+		}
+		if fraud {
+			fs.Fraud++
+			c.clicksByMatch[match].Fraud++
+		} else {
+			fs.Nonfraud++
+			c.clicksByMatch[match].Nonfraud++
 		}
 	}
 }

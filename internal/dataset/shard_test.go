@@ -1,0 +1,188 @@
+package dataset_test
+
+// Fold-equivalence suite for the sharded impression path: feeding the
+// same impression stream through (a) the sequential Collector.Impression
+// fold and (b) per-shard ShardAccumulators merged at a day barrier with
+// clicks replayed in global order must produce byte-identical collector
+// digests. This is the dataset-layer half of the parallel-serving
+// determinism contract; internal/sim's digest matrix proves the
+// engine-level half.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+// synthImpression is one synthetic serving outcome.
+type synthImpression struct {
+	day       simclock.Day
+	acct      platform.AccountID
+	fraud     bool
+	vertical  int
+	country   market.Country
+	position  int
+	match     platform.MatchType
+	fraudComp bool
+	clicked   bool
+	price     float64
+}
+
+// synthStream generates a deterministic random stream of impressions
+// spanning window boundaries, repeated accounts, and clicked/unclicked
+// mixes with irrational prices (so float accumulation order matters).
+func synthStream(seed uint64, n int) []synthImpression {
+	rng := stats.NewRNG(seed)
+	countries := []market.Country{market.US, "GB", "IN", "PK"}
+	out := make([]synthImpression, n)
+	day := simclock.Day(80) // straddles the Y1Q2 window start at day 90
+	for i := range out {
+		if rng.Bool(0.02) {
+			day++
+		}
+		clicked := rng.Bool(0.3)
+		price := 0.0
+		if clicked {
+			price = rng.Range(0.05, 3.0)
+		}
+		out[i] = synthImpression{
+			day:       day,
+			acct:      platform.AccountID(rng.Intn(40)),
+			fraud:     rng.Bool(0.4),
+			vertical:  rng.Intn(5),
+			country:   countries[rng.Intn(len(countries))],
+			position:  1 + rng.Intn(25),
+			match:     platform.MatchType(rng.Intn(3)),
+			fraudComp: rng.Bool(0.5),
+			clicked:   clicked,
+			price:     price,
+		}
+	}
+	return out
+}
+
+func collectorDigest(t *testing.T, c *dataset.Collector) []byte {
+	t.Helper()
+	b, err := testutil.MarshalStable(testutil.CollectorDigests(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardFoldEquivalence proves the two-lane split: sequential
+// Impression folds versus sharded accumulate-merge-apply produce
+// byte-identical collector digests, including float spend sums.
+func TestShardFoldEquivalence(t *testing.T) {
+	windows := simclock.Periods()
+	sample := simclock.Y1Q2
+	stream := synthStream(17, 20000)
+
+	seq := dataset.NewCollector(windows, sample)
+	for _, im := range stream {
+		seq.Impression(im.day, im.acct, im.fraud, im.vertical, im.country,
+			im.position, im.match, im.fraudComp, im.clicked, im.price)
+	}
+
+	for _, shards := range []int{1, 3, 4} {
+		par := dataset.NewCollector(windows, sample)
+		accs := make([]*dataset.ShardAccumulator, shards)
+		clicks := make([][]dataset.ClickRow, shards)
+		for i := range accs {
+			accs[i] = &dataset.ShardAccumulator{}
+		}
+
+		// Replay the stream day by day, splitting each day's impressions
+		// into contiguous shard blocks exactly like the serving engine.
+		for lo := 0; lo < len(stream); {
+			day := stream[lo].day
+			hi := lo
+			for hi < len(stream) && stream[hi].day == day {
+				hi++
+			}
+			block := stream[lo:hi]
+			nWin := par.ActiveWindowCount(day)
+			for k := 0; k < shards; k++ {
+				accs[k].BeginDay(nWin)
+				clicks[k] = clicks[k][:0]
+				s, e := k*len(block)/shards, (k+1)*len(block)/shards
+				for _, im := range block[s:e] {
+					accs[k].AddImpression(im.acct, im.position, im.fraudComp)
+					if im.clicked {
+						clicks[k] = append(clicks[k], dataset.ClickRow{
+							Account:   im.acct,
+							Vertical:  int32(im.vertical),
+							Match:     im.match,
+							Country:   im.country,
+							Fraud:     im.fraud,
+							FraudComp: im.fraudComp,
+							Price:     im.price,
+						})
+					}
+				}
+			}
+			// Day barrier: merge shards and apply clicks in shard order.
+			for k := 0; k < shards; k++ {
+				par.MergeShard(day, accs[k])
+				for _, row := range clicks[k] {
+					par.ApplyClick(day, row)
+				}
+			}
+			lo = hi
+		}
+
+		a, b := collectorDigest(t, seq), collectorDigest(t, par)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shards=%d: sharded fold diverged from sequential:\n%s",
+				shards, testutil.Diff(string(a), string(b)))
+		}
+	}
+}
+
+// TestShardAccumulatorReuse proves BeginDay fully resets partial state:
+// a second day folded through a reused accumulator matches a fresh one.
+func TestShardAccumulatorReuse(t *testing.T) {
+	windows := simclock.Periods()
+	reused := &dataset.ShardAccumulator{}
+	colA := dataset.NewCollector(windows, simclock.Y1Q2)
+	colB := dataset.NewCollector(windows, simclock.Y1Q2)
+
+	fold := func(col *dataset.Collector, sa *dataset.ShardAccumulator, day simclock.Day, accts ...platform.AccountID) {
+		sa.BeginDay(col.ActiveWindowCount(day))
+		for _, id := range accts {
+			sa.AddImpression(id, 1, id%2 == 0)
+		}
+		col.MergeShard(day, sa)
+	}
+
+	// Day 95 is inside Y1Q2 (windows active), day 200 is not.
+	fold(colA, reused, 95, 1, 2, 1)
+	fold(colA, reused, 200, 2, 3)
+
+	fresh1, fresh2 := &dataset.ShardAccumulator{}, &dataset.ShardAccumulator{}
+	fold(colB, fresh1, 95, 1, 2, 1)
+	fold(colB, fresh2, 200, 2, 3)
+
+	a, b := collectorDigest(t, colA), collectorDigest(t, colB)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reused accumulator leaked state across days:\n%s", testutil.Diff(string(a), string(b)))
+	}
+
+	var got []int64
+	reused.AccountImpressions(func(id platform.AccountID, n int64) { got = append(got, int64(id), n) })
+	want := []int64{2, 1, 3, 1}
+	if len(got) != len(want) {
+		t.Fatalf("AccountImpressions rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AccountImpressions rows = %v, want %v", got, want)
+		}
+	}
+}

@@ -20,9 +20,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 //
 // Not safe for concurrent use; wrap in Async for concurrent emitters.
 type Writer struct {
-	w   io.Writer
-	enc *encoder
-	buf []byte
+	w     io.Writer
+	enc   *encoder
+	buf   []byte
+	frame []byte // reusable framing buffer: Append is alloc-free steady-state
 
 	wroteHeader bool
 	err         error
@@ -61,10 +62,10 @@ func (w *Writer) Append(ev Event) {
 		w.fail(err)
 		return
 	}
-	frame := make([]byte, 0, len(payload)+9)
-	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame := binary.AppendUvarint(w.frame[:0], uint64(len(payload)))
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	w.frame = frame
 	if _, err := w.w.Write(frame); err != nil {
 		w.fail(err)
 		return

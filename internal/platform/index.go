@@ -35,6 +35,17 @@ type indexKey struct {
 // tweaks are ±20%, well inside the pruning margin).
 type Index struct {
 	lists map[indexKey][]BidRef
+
+	// epoch counts mutations that can change what a lookup returns:
+	// posting-list edits (AddBid/RemoveAd) and in-place bid-amount
+	// changes (Platform.ModifyBid calls BumpEpoch, since the index holds
+	// pointers and never sees the write). Serving-side caches key their
+	// validity on it — see internal/sim's per-day eligibility cache.
+	// Account-liveness and fraud-flag flips are intentionally NOT counted:
+	// every liveness transition of an account with indexed bids removes
+	// those bids (Shutdown/Close/RetireAd pause the ads), and fraud flags
+	// are never part of a lookup result.
+	epoch uint64
 }
 
 // MaxPerList bounds how many live candidates a single posting list
@@ -60,6 +71,7 @@ func staticScore(ref BidRef) float64 { return ref.Bid.MaxBid * ref.Ad.Quality }
 // AddBid registers a bid in its posting list, preserving descending
 // static-score order via binary insertion.
 func (x *Index) AddBid(ad *Ad, bid *KeywordBid) {
+	x.epoch++
 	k := keyFor(ad, bid)
 	list := x.lists[k]
 	ref := BidRef{Ad: ad, Bid: bid}
@@ -81,8 +93,21 @@ func (x *Index) AddBid(ad *Ad, bid *KeywordBid) {
 	x.lists[k] = list
 }
 
+// Epoch returns the index's mutation counter. Two lookups bracketed by
+// equal Epoch values are guaranteed to return the same bids with the
+// same effective amounts (liveness filtering aside — see the field
+// comment), which is what lets serving memoize eligibility and auction
+// results across repeated hot queries.
+func (x *Index) Epoch() uint64 { return x.epoch }
+
+// BumpEpoch invalidates epoch-keyed caches after a mutation the index
+// cannot observe itself (an in-place write through a held pointer, e.g.
+// a max-bid modification).
+func (x *Index) BumpEpoch() { x.epoch++ }
+
 // RemoveAd drops all of an ad's bids from the index.
 func (x *Index) RemoveAd(ad *Ad) {
+	x.epoch++
 	for _, bid := range ad.Bids {
 		k := keyFor(ad, bid)
 		list := x.lists[k]

@@ -168,3 +168,39 @@ func TestRemoveAdIsolation(t *testing.T) {
 		t.Fatalf("wrong survivor: %d refs", len(got))
 	}
 }
+
+// TestIndexEpoch pins the cache-invalidation contract: every mutation that
+// can change a lookup's result — adding a bid, removing an ad's bids, or
+// modifying a held bid's amount in place — advances the epoch, and reads
+// never do.
+func TestIndexEpoch(t *testing.T) {
+	p, a := indexFixture(t)
+	x := p.Index()
+	e0 := x.Epoch()
+	if e0 == 0 {
+		t.Fatal("fixture added bids without advancing the epoch")
+	}
+
+	// Reads leave the epoch alone.
+	x.Eligible(verticals.Games, market.US, 3, 1, FormBare, alwaysAlive)
+	if x.Epoch() != e0 {
+		t.Fatal("Eligible advanced the epoch")
+	}
+
+	ad := a.Ads[0]
+	p.ModifyBid(ad, ad.Bids[0], ad.Bids[0].MaxBid*1.1)
+	e1 := x.Epoch()
+	if e1 <= e0 {
+		t.Fatal("ModifyBid with a new amount did not advance the epoch")
+	}
+	// A no-op modification (amount rejected) must not invalidate.
+	p.ModifyBid(ad, ad.Bids[0], 0)
+	if x.Epoch() != e1 {
+		t.Fatal("rejected ModifyBid advanced the epoch")
+	}
+
+	p.PauseAd(ad)
+	if x.Epoch() <= e1 {
+		t.Fatal("PauseAd (RemoveAd) did not advance the epoch")
+	}
+}

@@ -251,6 +251,9 @@ func (p *Platform) ModifyAd(ad *Ad, creative adcopy.Creative) {
 func (p *Platform) ModifyBid(ad *Ad, bid *KeywordBid, newMax float64) {
 	if newMax > 0 {
 		bid.MaxBid = newMax
+		// The index holds the bid by pointer and never observes this
+		// write; invalidate epoch-keyed eligibility caches explicitly.
+		p.index.BumpEpoch()
 	}
 	p.MustAccount(ad.Account).KeywordsModified++
 }
@@ -296,4 +299,12 @@ func (p *Platform) Bill(acct AccountID, price float64) {
 // CountImpression increments the account's impression counter.
 func (p *Platform) CountImpression(acct AccountID) {
 	p.MustAccount(acct).Impressions++
+}
+
+// CountImpressions is the batched variant of CountImpression: sharded
+// serving counts impressions per worker and applies one delta per
+// account at the day barrier. Impression counters are plain sums, so the
+// batched apply is order-insensitive.
+func (p *Platform) CountImpressions(acct AccountID, n int64) {
+	p.MustAccount(acct).Impressions += n
 }

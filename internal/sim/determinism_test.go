@@ -104,13 +104,15 @@ func TestDifferentSeedsDiverge(t *testing.T) {
 }
 
 // TestDigestStableAcrossGOMAXPROCS pins the digest against the runtime's
-// parallelism setting. The engine is currently single-goroutine, so this
-// passes trivially — it exists as the tripwire for the roadmap's async /
-// sharded serving loop: once work fans out, this test is what proves the
-// fan-in is order-insensitive.
+// parallelism setting. Config.Workers defaults to GOMAXPROCS, so the
+// first two runs resolve to different worker counts (1 versus whatever
+// the host has) through the default path — the digest must not notice.
+// The third run pins an explicit worker count larger than either, so the
+// test is meaningful even on a single-core host. serve_test.go holds the
+// full workers × seeds matrix; this is the cheap always-on tripwire.
 func TestDigestStableAcrossGOMAXPROCS(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs two simulations")
+		t.Skip("runs three simulations")
 	}
 	prev := runtime.GOMAXPROCS(1)
 	serial := digestBytes(t, detConfig(7))
@@ -118,5 +120,10 @@ func TestDigestStableAcrossGOMAXPROCS(t *testing.T) {
 	parallel := digestBytes(t, detConfig(7))
 	if !bytes.Equal(serial, parallel) {
 		t.Fatalf("digest depends on GOMAXPROCS:\n%s", testutil.Diff(string(serial), string(parallel)))
+	}
+	cfg := detConfig(7)
+	cfg.Workers = 5
+	if five := digestBytes(t, cfg); !bytes.Equal(serial, five) {
+		t.Fatalf("digest depends on explicit worker count:\n%s", testutil.Diff(string(serial), string(five)))
 	}
 }

@@ -1,0 +1,464 @@
+package sim
+
+// The serving engine: the day's query → auction → click → billing loop,
+// runnable either on the simulation goroutine (Workers <= 1) or sharded
+// across a worker pool (Workers > 1) with byte-identical outcomes.
+//
+// The determinism contract (DESIGN.md "Parallel serving") rests on three
+// facts about stepDay: campaign and account state is frozen while
+// serving runs (arrivals, agent steps and detection all happen outside
+// the serving phase), the query stream and the click stream are each one
+// sequential RNG, and every order-sensitive accumulation is either a
+// commutative integer count or a float sum applied at the day barrier in
+// global query order. Concretely the sharded path runs five sub-phases
+// per day:
+//
+//	A. generate the day's queries sequentially (one RNG stream);
+//	B. shard the query indices into contiguous blocks, one per worker;
+//	   each worker resolves eligibility + auction for its block against
+//	   the frozen index — through a per-worker, epoch-invalidated page
+//	   cache — and records each query's click-RNG draw count;
+//	C. derive each query's click-RNG substream sequentially from the
+//	   master click stream (stats.SubStreams), advancing the master
+//	   exactly as sequential serving would;
+//	D. workers roll clicks for their queries from the private substreams
+//	   and stage outcomes: commutative counters in a
+//	   dataset.ShardAccumulator, clicks as ordered ClickRows, events in
+//	   a per-worker buffer;
+//	E. at the day barrier, the simulation goroutine folds every shard in
+//	   shard order — which, because blocks are contiguous, is global
+//	   query order: counter merges, then billing + spend + click folds
+//	   row by row, then event flush.
+//
+// Workers <= 1 uses a fused single-pass loop (the pre-sharding engine)
+// over the same page cache, so the sequential path keeps its speed and
+// the parallel path provably matches it byte for byte (see the digest
+// matrix in serve_test.go).
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/auction"
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/queries"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// pageKey identifies a query equivalence class: two queries with the same
+// key see the same eligible bids and auction outcome while the index
+// epoch is unchanged.
+type pageKey struct {
+	vi      int32
+	kw      int32
+	cl      int32
+	form    platform.QueryForm
+	country market.Country
+}
+
+// page is one cached auction outcome: the placements, each placement's
+// click probability, its ad's vertical index, and how many click-RNG
+// draws rolling the page consumes (one per probability strictly inside
+// (0,1) — exactly what clicks.Model.SimulateInto would draw).
+type page struct {
+	placements []auction.Placement
+	cps        []float64
+	vis        []int32
+	draws      int32
+}
+
+// maxPageEntries bounds one shard's cache; past it, pages are still
+// computed but no longer retained. A full-scale day has ~15k distinct
+// pages, so the bound only guards pathological configurations.
+const maxPageEntries = 1 << 15
+
+// servePage is one query's resolved page plus the day-dependent fraud
+// count, which is never cached: compromises flip account fraud flags
+// without touching the index, so fraud presence is recomputed live.
+type servePage struct {
+	pg         *page
+	fraudShown int32
+}
+
+// shard is one worker's private serving state.
+type shard struct {
+	// Page cache, valid for one index epoch.
+	cache    map[pageKey]*page
+	epoch    uint64
+	hasEpoch bool
+
+	// Scratch reused across queries.
+	eligBuf  []platform.BidRef
+	scr      auction.Scratch
+	clickBuf []int
+
+	// Per-day staging, folded at the day barrier.
+	acc    dataset.ShardAccumulator
+	clicks []dataset.ClickRow
+	events []eventlog.Event
+	pages  []servePage
+}
+
+// serveEngine owns the worker shards and the per-day query/substream
+// tables.
+type serveEngine struct {
+	workers int
+	shards  []*shard
+
+	queries []queries.Query
+	draws   []int32
+	states  []stats.RNGState
+}
+
+func newServeEngine(workers int) *serveEngine {
+	e := &serveEngine{workers: workers, shards: make([]*shard, workers)}
+	for i := range e.shards {
+		e.shards[i] = &shard{}
+	}
+	return e
+}
+
+// bounds returns worker k's contiguous query-index block [lo, hi).
+func (e *serveEngine) bounds(k, n int) (int, int) {
+	return k * n / e.workers, (k + 1) * n / e.workers
+}
+
+// ensureEpoch drops every cached page when the index has mutated since
+// the cache was filled (or on first use).
+func (sh *shard) ensureEpoch(epoch uint64) {
+	if sh.cache == nil {
+		sh.cache = make(map[pageKey]*page, 1024)
+	}
+	if !sh.hasEpoch || sh.epoch != epoch {
+		clear(sh.cache)
+		sh.epoch = epoch
+		sh.hasEpoch = true
+	}
+}
+
+// page resolves a query's eligibility and auction through the cache.
+// Hot Zipf-head queries repeat heavily within a day while the index is
+// frozen, so the hit path skips both the posting-list walk and the
+// auction. Empty outcomes are cached too.
+func (sh *shard) page(s *Sim, q *queries.Query, alive func(platform.AccountID) bool) *page {
+	key := pageKey{int32(q.VerticalIdx), int32(q.KeywordID), int32(q.Cluster), q.Form, q.Country}
+	if pg, ok := sh.cache[key]; ok {
+		return pg
+	}
+	pg := &page{}
+	sh.eligBuf = s.p.Index().EligibleAppend(sh.eligBuf[:0], q.Vertical, q.Country, q.KeywordID, q.Cluster, q.Form, alive)
+	if len(sh.eligBuf) > 0 {
+		res := auction.RunInto(s.cfg.Auction, sh.eligBuf, q.Form, &sh.scr)
+		if n := len(res.Placements); n > 0 {
+			pg.placements = make([]auction.Placement, n)
+			copy(pg.placements, res.Placements)
+			pg.cps = make([]float64, n)
+			pg.vis = make([]int32, n)
+			for i := range pg.placements {
+				cp := s.model.ClickProbability(pg.placements[i])
+				pg.cps[i] = cp
+				pg.vis[i] = int32(verticals.Index(pg.placements[i].Ref.Ad.Vertical))
+				if cp > 0 && cp < 1 {
+					pg.draws++
+				}
+			}
+		}
+	}
+	if len(sh.cache) < maxPageEntries {
+		sh.cache[key] = pg
+	}
+	return pg
+}
+
+// rollClicksInto mirrors clicks.Model.SimulateInto over precomputed
+// click probabilities: same draw pattern, same outcomes, no recompute.
+func rollClicksInto(rng *stats.RNG, cps []float64, buf []int) []int {
+	buf = buf[:0]
+	for i, cp := range cps {
+		if rng.Bool(cp) {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// serveQueries runs the day's query volume through the auction and click
+// model, on one goroutine or the worker pool per the Workers setting.
+func (s *Sim) serveQueries(day simclock.Day) {
+	if s.eng == nil {
+		s.eng = newServeEngine(s.resolveWorkers())
+	}
+	if s.shardSinks != nil && len(s.shardSinks) != s.eng.workers {
+		panic(fmt.Sprintf("sim: %d shard event sinks for %d workers", len(s.shardSinks), s.eng.workers))
+	}
+	if s.eng.workers > 1 {
+		s.serveQueriesSharded(day)
+	} else {
+		s.serveQueriesSequential(day)
+	}
+	s.res.RevenueLost = s.p.Ledger().TotalLost()
+}
+
+// serveQueriesSequential is the fused single-goroutine loop: one pass
+// per query doing auction (via the page cache), click rolls off the
+// master click stream, and immediate folds.
+func (s *Sim) serveQueriesSequential(day simclock.Day) {
+	sh := s.eng.shards[0]
+	sh.ensureEpoch(s.p.Index().Epoch())
+	sink := s.events
+	if s.shardSinks != nil {
+		sink = s.shardSinks[0]
+	}
+	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
+	for i := 0; i < s.cfg.QueriesPerDay; i++ {
+		q := s.qgen.Next()
+		pg := sh.page(s, &q, alive)
+		if len(pg.placements) == 0 {
+			continue
+		}
+		s.res.Auctions++
+
+		// Ground-truth fraud presence per page: an ad competes with fraud
+		// when another shown ad belongs to a fraudulent account. Never
+		// cached — fraud flags flip without an index mutation.
+		fraudShown := 0
+		for _, pl := range pg.placements {
+			if s.p.MustAccount(pl.Ref.Ad.Account).Fraud {
+				fraudShown++
+			}
+		}
+
+		sh.clickBuf = rollClicksInto(s.clickRNG, pg.cps, sh.clickBuf)
+		clicked := sh.clickBuf
+		country := string(q.Country)
+		ci := 0
+		for pi := range pg.placements {
+			pl := &pg.placements[pi]
+			acct := s.p.MustAccount(pl.Ref.Ad.Account)
+			isFraud := acct.Fraud
+			fraudComp := fraudShown > 0
+			if isFraud {
+				fraudComp = fraudShown > 1
+			}
+			wasClicked := ci < len(clicked) && clicked[ci] == pi
+			price := 0.0
+			if wasClicked {
+				ci++
+				price = pl.Price
+				s.p.Bill(acct.ID, price)
+				s.res.Clicks++
+				s.res.Spend += price
+				if isFraud {
+					s.res.FraudClicks++
+					s.res.FraudSpend += price
+				}
+			}
+			s.p.CountImpression(acct.ID)
+			s.res.Impressions++
+			s.col.Impression(day, acct.ID, isFraud, int(pg.vis[pi]),
+				q.Country, pl.Position, pl.Ref.Bid.Match, fraudComp, wasClicked, price)
+			if sink != nil {
+				var flags uint8
+				if isFraud {
+					flags |= eventlog.FlagFraud
+				}
+				if fraudComp {
+					flags |= eventlog.FlagFraudComp
+				}
+				if wasClicked {
+					flags |= eventlog.FlagClicked
+				}
+				sink.Append(eventlog.Event{
+					Type:     eventlog.TypeImpression,
+					Day:      int32(day),
+					Account:  int32(acct.ID),
+					Vertical: pg.vis[pi],
+					Country:  country,
+					Position: int32(pl.Position),
+					Match:    uint8(pl.Ref.Bid.Match),
+					Flags:    flags,
+					Amount:   price,
+				})
+			}
+		}
+	}
+}
+
+// serveQueriesSharded is the worker-pool engine; see the package comment
+// for the A–E phase structure and why each phase preserves byte
+// identity.
+func (s *Sim) serveQueriesSharded(day simclock.Day) {
+	e := s.eng
+	n := s.cfg.QueriesPerDay
+
+	// Phase A: the query stream is one sequential RNG; draw it up front.
+	if cap(e.queries) < n {
+		e.queries = make([]queries.Query, n)
+		e.draws = make([]int32, n)
+	}
+	e.queries = e.queries[:n]
+	e.draws = e.draws[:n]
+	for i := 0; i < n; i++ {
+		e.queries[i] = s.qgen.Next()
+	}
+
+	epoch := s.p.Index().Epoch()
+	nWin := s.col.ActiveWindowCount(day)
+	stage := s.events != nil || s.shardSinks != nil
+
+	// Phase B: eligibility + auctions against the frozen index.
+	var wg sync.WaitGroup
+	for k := 0; k < e.workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.shardAuctions(day, k, n, nWin, epoch)
+		}(k)
+	}
+	wg.Wait()
+
+	// Phase C: partition the master click stream by per-query draw
+	// count. After this the master has advanced exactly as sequential
+	// serving would have.
+	e.states = stats.SubStreams(s.clickRNG, e.draws, e.states[:0])
+
+	// Phase D: click rolls and outcome staging from private substreams.
+	for k := 0; k < e.workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.shardClicks(day, k, n, stage)
+		}(k)
+	}
+	wg.Wait()
+
+	// Phase E: deterministic fold, shard by shard — global query order.
+	for k := 0; k < e.workers; k++ {
+		sh := e.shards[k]
+		s.res.Auctions += sh.acc.Auctions
+		s.res.Impressions += sh.acc.Impressions
+		s.col.MergeShard(day, &sh.acc)
+		sh.acc.AccountImpressions(s.p.CountImpressions)
+		for i := range sh.clicks {
+			row := &sh.clicks[i]
+			s.p.Bill(row.Account, row.Price)
+			s.res.Clicks++
+			s.res.Spend += row.Price
+			if row.Fraud {
+				s.res.FraudClicks++
+				s.res.FraudSpend += row.Price
+			}
+			s.col.ApplyClick(day, *row)
+		}
+		if s.shardSinks != nil {
+			for i := range sh.events {
+				s.shardSinks[k].Append(sh.events[i])
+			}
+		} else if s.events != nil {
+			for i := range sh.events {
+				s.events.Append(sh.events[i])
+			}
+		}
+	}
+}
+
+// shardAuctions is phase B for one worker: resolve every query in the
+// block through the page cache and record its draw count. All writes are
+// shard-private or to this block's slice of e.draws.
+func (s *Sim) shardAuctions(day simclock.Day, k, n, nWin int, epoch uint64) {
+	e := s.eng
+	sh := e.shards[k]
+	lo, hi := e.bounds(k, n)
+	sh.ensureEpoch(epoch)
+	sh.acc.BeginDay(nWin)
+	sh.clicks = sh.clicks[:0]
+	sh.events = sh.events[:0]
+	sh.pages = sh.pages[:0]
+	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
+	for gi := lo; gi < hi; gi++ {
+		pg := sh.page(s, &e.queries[gi], alive)
+		sp := servePage{pg: pg}
+		if len(pg.placements) > 0 {
+			sh.acc.Auctions++
+			for i := range pg.placements {
+				if s.p.MustAccount(pg.placements[i].Ref.Ad.Account).Fraud {
+					sp.fraudShown++
+				}
+			}
+		}
+		e.draws[gi] = pg.draws
+		sh.pages = append(sh.pages, sp)
+	}
+}
+
+// shardClicks is phase D for one worker: roll clicks for each query from
+// its private substream (bit-identical to the sequential rolls) and
+// stage counter increments, click rows and events.
+func (s *Sim) shardClicks(day simclock.Day, k, n int, stage bool) {
+	e := s.eng
+	sh := e.shards[k]
+	lo, hi := e.bounds(k, n)
+	var rng stats.RNG
+	for gi := lo; gi < hi; gi++ {
+		sp := &sh.pages[gi-lo]
+		pg := sp.pg
+		if len(pg.placements) == 0 {
+			continue
+		}
+		q := &e.queries[gi]
+		rng.SetState(e.states[gi])
+		country := string(q.Country)
+		for pi := range pg.placements {
+			pl := &pg.placements[pi]
+			clicked := rng.Bool(pg.cps[pi])
+			acctID := pl.Ref.Ad.Account
+			isFraud := s.p.MustAccount(acctID).Fraud
+			fraudComp := sp.fraudShown > 0
+			if isFraud {
+				fraudComp = sp.fraudShown > 1
+			}
+			sh.acc.AddImpression(acctID, pl.Position, fraudComp)
+			price := 0.0
+			if clicked {
+				price = pl.Price
+				sh.clicks = append(sh.clicks, dataset.ClickRow{
+					Account:   acctID,
+					Vertical:  pg.vis[pi],
+					Match:     pl.Ref.Bid.Match,
+					Country:   q.Country,
+					Fraud:     isFraud,
+					FraudComp: fraudComp,
+					Price:     price,
+				})
+			}
+			if stage {
+				var flags uint8
+				if isFraud {
+					flags |= eventlog.FlagFraud
+				}
+				if fraudComp {
+					flags |= eventlog.FlagFraudComp
+				}
+				if clicked {
+					flags |= eventlog.FlagClicked
+				}
+				sh.events = append(sh.events, eventlog.Event{
+					Type:     eventlog.TypeImpression,
+					Day:      int32(day),
+					Account:  int32(acctID),
+					Vertical: pg.vis[pi],
+					Country:  country,
+					Position: int32(pl.Position),
+					Match:    uint8(pl.Ref.Bid.Match),
+					Flags:    flags,
+					Amount:   price,
+				})
+			}
+		}
+	}
+}

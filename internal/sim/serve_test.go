@@ -1,0 +1,284 @@
+// Parallel-serving suite: serve.go's contract is that Workers is a pure
+// throughput knob — every seeded outcome (dataset digests, billing,
+// event records, RNG stream positions) is byte-identical across worker
+// counts. These tests prove it three ways: a digest matrix across
+// workers × seeds, mid-run snapshot byte-equality plus checkpoint/resume
+// across a worker-count change, and record-for-record reconstruction of
+// the sequential event log from per-shard logs. CI runs the matrix under
+// -race, which also makes it the data-race proof for the phase structure.
+package sim_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// matrixConfig spans the Y1Q2 window start (day 90) so the sharded
+// window folds and position histograms see real coverage — detConfig's
+// 60 days would leave the window lanes untested.
+func matrixConfig(seed uint64, workers int) sim.Config {
+	cfg := goldenConfig()
+	cfg.Seed = seed
+	cfg.Days = 110
+	cfg.QueriesPerDay = 600
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestParallelServingDigestMatrix is the acceptance matrix: for each
+// seed, Workers ∈ {2, 4, 7} must produce dataset digests byte-identical
+// to the sequential engine (Workers = 1) — not just totals, but every
+// account aggregate, float spend sum, ledger entry and detection record.
+// Worker counts that do not divide the query volume exercise the uneven
+// shard-boundary arithmetic.
+func TestParallelServingDigestMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a grid of simulations")
+	}
+	for _, seed := range []uint64{7, 31} {
+		seq := digestBytes(t, matrixConfig(seed, 1))
+		for _, workers := range []int{2, 4, 7} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				got := digestBytes(t, matrixConfig(seed, workers))
+				if !bytes.Equal(seq, got) {
+					t.Fatalf("workers=%d diverged from sequential engine:\n%s",
+						workers, testutil.Diff(string(seq), string(got)))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelCheckpointResume proves worker count is orthogonal to the
+// checkpoint trajectory: a parallel run and a sequential run snapshot
+// byte-identically mid-window, and a run resumed from the parallel
+// snapshot with yet another worker count finishes on the same digest as
+// both uninterrupted runs.
+func TestParallelCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several partial simulations")
+	}
+	const snapDay = 100 // inside Y1Q2, so window lanes are mid-accumulation
+
+	stepTo := func(s *sim.Sim, day int) {
+		t.Helper()
+		for int(s.Day()) < day {
+			if !s.Step() {
+				t.Fatal("horizon ended before snapshot day")
+			}
+		}
+	}
+	encode := func(s *sim.Sim) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	par := sim.New(matrixConfig(13, 3))
+	seq := sim.New(matrixConfig(13, 1))
+	stepTo(par, snapDay)
+	stepTo(seq, snapDay)
+
+	// Workers is the one config field allowed to differ; normalize it and
+	// the remaining state must be byte-identical — platform tables, RNG
+	// stream positions, collector aggregates, everything.
+	par.SetWorkers(0)
+	seq.SetWorkers(0)
+	parBytes, seqBytes := encode(par), encode(seq)
+	if !bytes.Equal(parBytes, seqBytes) {
+		t.Fatalf("mid-run snapshots differ between parallel and sequential runs (%d vs %d bytes)",
+			len(parBytes), len(seqBytes))
+	}
+
+	finish := func(s *sim.Sim) []byte {
+		t.Helper()
+		for s.Step() {
+		}
+		b, err := testutil.MarshalStable(testutil.DigestResult(s.Finish()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Resume from the parallel snapshot with a third worker count.
+	var st sim.State
+	if err := gob.NewDecoder(bytes.NewReader(parBytes)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim.Restore(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.SetWorkers(5)
+
+	want := digestBytes(t, matrixConfig(13, 3))
+	if got := finish(resumed); !bytes.Equal(want, got) {
+		t.Fatalf("resume with different worker count diverged:\n%s",
+			testutil.Diff(string(want), string(got)))
+	}
+	if got := finish(seq); !bytes.Equal(want, got) {
+		t.Fatalf("sequential continuation diverged from parallel run:\n%s",
+			testutil.Diff(string(want), string(got)))
+	}
+}
+
+// TestPerShardEventLogReplay proves the sharded event-log contract end
+// to end: with SetShardEventSinks, shard k's sink receives exactly shard
+// k's impressions in query order, each shard log survives a codec
+// round-trip independently, and the control log plus the shard logs —
+// merged per day, shards in order — reproduce the sequential engine's
+// single log and replay (via dataset.Replayer) to the live collector's
+// digests.
+func TestPerShardEventLogReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two logged simulations")
+	}
+	const workers = 3
+	cfg := matrixConfig(7, workers)
+
+	var control eventlog.SliceSink
+	cfg.Events = &control
+	shardSinks := make([]eventlog.SliceSink, workers)
+	sinks := make([]eventlog.Sink, workers)
+	for i := range shardSinks {
+		sinks[i] = &shardSinks[i]
+	}
+	s := sim.New(cfg)
+	s.SetShardEventSinks(sinks)
+	res := s.Run()
+	live := testutil.CollectorDigests(res.Collector)
+
+	// The sequential single-log reference run.
+	seqCfg := matrixConfig(7, 1)
+	var single eventlog.SliceSink
+	seqCfg.Events = &single
+	sim.New(seqCfg).Run()
+
+	// Every shard log must survive the binary codec on its own: each has
+	// its own first-seen intern table, independent of the others.
+	for k := range shardSinks {
+		var buf bytes.Buffer
+		w := eventlog.NewWriter(&buf)
+		for _, ev := range shardSinks[k].Events {
+			w.Append(ev)
+		}
+		if err := w.Err(); err != nil {
+			t.Fatalf("shard %d: encode: %v", k, err)
+		}
+		rd := eventlog.NewReader(&buf, eventlog.Filter{})
+		var ev eventlog.Event
+		for i := 0; ; i++ {
+			if err := rd.Next(&ev); err != nil {
+				if i != len(shardSinks[k].Events) {
+					t.Fatalf("shard %d: decoded %d of %d events: %v", k, i, len(shardSinks[k].Events), err)
+				}
+				break
+			}
+			if ev != shardSinks[k].Events[i] {
+				t.Fatalf("shard %d event %d: codec round trip changed the record:\n got %+v\nwant %+v",
+					k, i, ev, shardSinks[k].Events[i])
+			}
+		}
+	}
+
+	// The control log must be exactly the sequential log minus serving:
+	// same non-impression records in the same order.
+	var nonImpr []eventlog.Event
+	for _, ev := range single.Events {
+		if ev.Type != eventlog.TypeImpression {
+			nonImpr = append(nonImpr, ev)
+		}
+	}
+	if len(control.Events) != len(nonImpr) {
+		t.Fatalf("control log has %d events, sequential log has %d non-impression events",
+			len(control.Events), len(nonImpr))
+	}
+	for i := range nonImpr {
+		if control.Events[i] != nonImpr[i] {
+			t.Fatalf("control event %d differs from sequential log:\n got %+v\nwant %+v",
+				i, control.Events[i], nonImpr[i])
+		}
+	}
+
+	// Shard blocks are contiguous in query order, so concatenating each
+	// day's shard events (shards in order) must reproduce the sequential
+	// log's impression stream record for record.
+	var mergedImpr []eventlog.Event
+	cursors := make([]int, workers)
+	for day := int32(0); day < int32(cfg.Days); day++ {
+		for k := 0; k < workers; k++ {
+			evs := shardSinks[k].Events
+			for cursors[k] < len(evs) && evs[cursors[k]].Day == day {
+				mergedImpr = append(mergedImpr, evs[cursors[k]])
+				cursors[k]++
+			}
+		}
+	}
+	for k, c := range cursors {
+		if c != len(shardSinks[k].Events) {
+			t.Fatalf("shard %d: %d events not consumed by the day merge", k, len(shardSinks[k].Events)-c)
+		}
+	}
+	var seqImpr []eventlog.Event
+	for _, ev := range single.Events {
+		if ev.Type == eventlog.TypeImpression {
+			seqImpr = append(seqImpr, ev)
+		}
+	}
+	if len(mergedImpr) != len(seqImpr) {
+		t.Fatalf("merged shard logs have %d impressions, sequential log has %d",
+			len(mergedImpr), len(seqImpr))
+	}
+	for i := range seqImpr {
+		if mergedImpr[i] != seqImpr[i] {
+			t.Fatalf("merged impression %d differs from sequential log:\n got %+v\nwant %+v",
+				i, mergedImpr[i], seqImpr[i])
+		}
+	}
+
+	// Replaying control + merged shard impressions rebuilds the live
+	// collector digest for digest, same as replaying the sequential log.
+	replay := func(streams ...[]eventlog.Event) testutil.CollectorDigestSet {
+		rep := dataset.NewReplayer(dataset.NewCollector(cfg.Windows, cfg.SampleWindow))
+		for _, evs := range streams {
+			for _, ev := range evs {
+				rep.Append(ev)
+			}
+		}
+		return testutil.CollectorDigests(rep.Collector())
+	}
+	if got := replay(control.Events, mergedImpr); got != live {
+		t.Errorf("sharded-log replay diverges from live collector:\n got %+v\nwant %+v", got, live)
+	}
+	if got := replay(single.Events); got != live {
+		t.Errorf("sequential-log replay diverges from live collector:\n got %+v\nwant %+v", got, live)
+	}
+}
+
+// TestShardSinkCountMismatch pins the guard: attaching a sink set whose
+// length disagrees with the worker count must panic loudly rather than
+// silently misroute shard events.
+func TestShardSinkCountMismatch(t *testing.T) {
+	cfg := matrixConfig(7, 2)
+	cfg.Days = 1
+	cfg.InitialLegit = 20
+	s := sim.New(cfg)
+	s.SetShardEventSinks([]eventlog.Sink{&eventlog.SliceSink{}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shard sink count did not panic")
+		}
+	}()
+	s.Run()
+}

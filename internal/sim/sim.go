@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/agents"
@@ -32,6 +33,15 @@ type Config struct {
 
 	// QueriesPerDay is the served search volume.
 	QueriesPerDay int
+
+	// Workers sets how many goroutines serve each day's queries; 0 (the
+	// default) uses runtime.GOMAXPROCS. Serving is sharded so that every
+	// seeded outcome — dataset digests, billing, event-log bytes, RNG
+	// stream positions — is byte-identical across all Workers values
+	// (see serve.go and the digest matrix in serve_test.go); the setting
+	// is therefore a pure throughput knob and, unlike the shape
+	// parameters above, may differ across a checkpoint/resume boundary.
+	Workers int
 
 	// RegistrationsPerDay is the mean daily account-arrival count.
 	RegistrationsPerDay float64
@@ -176,12 +186,14 @@ type Sim struct {
 	// pendingReregs are scheduled actor returns, kept day-ordered.
 	pendingReregs map[simclock.Day][]agents.Profile
 
-	// Serving-loop scratch buffers (single-goroutine).
-	eligibleBuf []platform.BidRef
-	auctionScr  auction.Scratch
-	clickBuf    []int
+	// eng is the serving engine (worker shards, page caches, per-day
+	// staging); built lazily so SetWorkers can apply after Restore.
+	eng *serveEngine
 
 	events eventlog.Sink
+	// shardSinks, when set, receives each serving shard's impression
+	// events instead of the main sink (see SetShardEventSinks).
+	shardSinks []eventlog.Sink
 
 	// day is the next day to simulate; seeded records whether the initial
 	// population warmup has run. Together they are the resume cursor.
@@ -251,6 +263,41 @@ func (s *Sim) SetEvents(sink eventlog.Sink) {
 func (s *Sim) SetProgress(fn func(string)) {
 	s.cfg.Progress = fn
 	s.res.Config.Progress = fn
+}
+
+// SetWorkers overrides the serving worker count (see Config.Workers) on
+// a constructed or restored Sim. Because outcomes are byte-identical
+// across worker counts, changing it mid-run — e.g. resuming a
+// checkpointed run on a different machine — does not perturb the
+// trajectory.
+func (s *Sim) SetWorkers(n int) {
+	s.cfg.Workers = n
+	s.res.Config.Workers = n
+	s.eng = nil // rebuilt with the new shard count on the next served day
+}
+
+// resolveWorkers maps Config.Workers onto an effective worker count.
+func (s *Sim) resolveWorkers() int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = maxprocs()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetShardEventSinks routes serving-impression events to one sink per
+// worker shard instead of the main Events sink: shard k's sink receives
+// exactly the impressions of shard k's queries, in query order, flushed
+// at each day barrier. Non-serving events (registrations, campaign
+// actions, detections) still go to the main sink, so the main log plus
+// the shard logs — merged per day, shards in order — reconstruct the
+// sequential engine's single log record for record. len(sinks) must
+// equal the effective worker count; nil restores single-sink routing.
+func (s *Sim) SetShardEventSinks(sinks []eventlog.Sink) {
+	s.shardSinks = sinks
 }
 
 // Platform exposes the underlying ad network (read access for analyses).
@@ -512,84 +559,6 @@ func (s *Sim) compromiseAccounts(day simclock.Day) {
 	}
 }
 
-// serveQueries runs the day's query volume through the auction and click
-// model.
-func (s *Sim) serveQueries(day simclock.Day) {
-	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
-	for i := 0; i < s.cfg.QueriesPerDay; i++ {
-		q := s.qgen.Next()
-		s.eligibleBuf = s.p.Index().EligibleAppend(s.eligibleBuf[:0], q.Vertical, q.Country, q.KeywordID, q.Cluster, q.Form, alive)
-		eligible := s.eligibleBuf
-		if len(eligible) == 0 {
-			continue
-		}
-		res := auction.RunInto(s.cfg.Auction, eligible, q.Form, &s.auctionScr)
-		if len(res.Placements) == 0 {
-			continue
-		}
-		s.res.Auctions++
-
-		// Ground-truth fraud presence per page: an ad competes with fraud
-		// when another shown ad belongs to a fraudulent account.
-		fraudShown := 0
-		for _, pl := range res.Placements {
-			if s.p.MustAccount(pl.Ref.Ad.Account).Fraud {
-				fraudShown++
-			}
-		}
-
-		s.clickBuf = s.model.SimulateInto(s.clickRNG, res.Placements, s.clickBuf)
-		clicked := s.clickBuf
-		ci := 0
-		for pi, pl := range res.Placements {
-			acct := s.p.MustAccount(pl.Ref.Ad.Account)
-			isFraud := acct.Fraud
-			fraudComp := fraudShown > 0
-			if isFraud {
-				fraudComp = fraudShown > 1
-			}
-			wasClicked := ci < len(clicked) && clicked[ci] == pi
-			price := 0.0
-			if wasClicked {
-				ci++
-				price = pl.Price
-				s.p.Bill(acct.ID, price)
-				s.res.Clicks++
-				s.res.Spend += price
-				if isFraud {
-					s.res.FraudClicks++
-					s.res.FraudSpend += price
-				}
-			}
-			s.p.CountImpression(acct.ID)
-			s.res.Impressions++
-			vi := verticals.Index(pl.Ref.Ad.Vertical)
-			s.col.Impression(day, acct.ID, isFraud, vi,
-				q.Country, pl.Position, pl.Ref.Bid.Match, fraudComp, wasClicked, price)
-			if s.events != nil {
-				var flags uint8
-				if isFraud {
-					flags |= eventlog.FlagFraud
-				}
-				if fraudComp {
-					flags |= eventlog.FlagFraudComp
-				}
-				if wasClicked {
-					flags |= eventlog.FlagClicked
-				}
-				s.events.Append(eventlog.Event{
-					Type:     eventlog.TypeImpression,
-					Day:      int32(day),
-					Account:  int32(acct.ID),
-					Vertical: int32(vi),
-					Country:  string(q.Country),
-					Position: int32(pl.Position),
-					Match:    uint8(pl.Ref.Bid.Match),
-					Flags:    flags,
-					Amount:   price,
-				})
-			}
-		}
-	}
-	s.res.RevenueLost = s.p.Ledger().TotalLost()
-}
+// maxprocs reports the runtime's effective parallelism; split out so the
+// import list stays honest about the one runtime dependency.
+func maxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,61 @@
+package stats
+
+import "testing"
+
+// TestSubStreamsMatchSequential proves the partitioning contract: replaying
+// each substream for its declared draw count reproduces exactly the values
+// one sequential generator would have produced, and the master lands on the
+// same final state either way.
+func TestSubStreamsMatchSequential(t *testing.T) {
+	draws := []int32{0, 3, 1, 0, 0, 7, 2, 0, 5}
+
+	seq := NewRNG(1234)
+	var want []uint64
+	for _, n := range draws {
+		for j := int32(0); j < n; j++ {
+			want = append(want, seq.Uint64())
+		}
+	}
+
+	master := NewRNG(1234)
+	states := SubStreams(master, draws, nil)
+	if len(states) != len(draws) {
+		t.Fatalf("got %d states for %d consumers", len(states), len(draws))
+	}
+	if master.State() != seq.State() {
+		t.Fatal("master state diverged from sequential consumption")
+	}
+
+	var got []uint64
+	var r RNG
+	for i, n := range draws {
+		r.SetState(states[i])
+		for j := int32(0); j < n; j++ {
+			got = append(got, r.Uint64())
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: substream produced %d, sequential produced %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSubStreamsReuse proves the dst scratch contract (append semantics, no
+// stale state leakage) and the empty-input edge.
+func TestSubStreamsReuse(t *testing.T) {
+	master := NewRNG(9)
+	scratch := make([]RNGState, 0, 8)
+	a := SubStreams(master, []int32{2, 2}, scratch[:0])
+	first := a[0]
+	b := SubStreams(master, []int32{1}, a[:0])
+	if len(b) != 1 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] == first {
+		t.Fatal("master did not advance between calls")
+	}
+	if got := SubStreams(master, nil, nil); len(got) != 0 {
+		t.Fatalf("empty draws produced %d states", len(got))
+	}
+}
