@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash verify golden bench bench-serving fuzz-smoke
+.PHONY: build vet test race chaos crash verify golden bench bench-serving bench-dayloop fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,10 @@ race:
 # chaos runs the fault-injection resilience suite under the race
 # detector: seeded latency/error/panic injection against the adserver
 # stack (shed = 429 not timeout, panics never kill the process, drain on
-# shutdown, backoff client convergence).
+# shutdown, backoff client convergence), plus the parallel day loop
+# against failing/crashing event sinks (no deadlock, no digest drift).
 chaos:
-	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject
+	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject ./internal/sim
 
 # crash runs the crash-safety suite: seeded kill-point sweeps proving
 # recover + resume lands on the exact trajectory of an uninterrupted run
@@ -55,6 +56,14 @@ bench-serving:
 	$(GO) test ./internal/sim -run TestWriteServingBenchJSON \
 		-bench-serving-out $(CURDIR)/BENCH_serving.json -timeout 20m -v
 
+# bench-dayloop measures whole simulated days — arrivals, agents,
+# serving, detection — per worker count at MediumConfig and records the
+# per-phase wall-time split in BENCH_dayloop.json, so the agent and
+# detection scaling is visible separately from serving's.
+bench-dayloop:
+	$(GO) test ./internal/sim -run TestWriteDayloopBenchJSON \
+		-bench-dayloop-out $(CURDIR)/BENCH_dayloop.json -timeout 20m -v
+
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the
 # corpus plus a short exploration burst.
 fuzz-smoke:
@@ -68,3 +77,4 @@ fuzz-smoke:
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzReadLog -fuzztime 5s
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzRecoverDir -fuzztime 5s
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzRestoreCheckpoint -fuzztime 5s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzSubStreams -fuzztime 5s

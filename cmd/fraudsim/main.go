@@ -11,9 +11,10 @@
 //	         [-resume PATH]
 //	         [-cpuprofile PATH] [-memprofile PATH]
 //
-// -workers shards each day's query serving across N goroutines; 0 (the
-// default) uses every available CPU. Results are byte-identical across
-// worker counts, so the flag is a pure throughput knob.
+// -workers parallelizes the whole day loop — agent campaign planning,
+// query serving, and the nightly detection scan — across N goroutines;
+// 0 (the default) uses every available CPU. Results are byte-identical
+// across worker counts, so the flag is a pure throughput knob.
 //
 // With -checkpoint-every N the simulator writes a crash-safe snapshot to
 // the -checkpoint file every N simulated days (aligned with an event-log
@@ -63,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	days := fs.Int("days", 0, "override simulated days (0 = scale default)")
 	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
 	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
-	workers := fs.Int("workers", 0, "serving worker goroutines (0 = all CPUs; any value gives identical results)")
+	workers := fs.Int("workers", 0, "day-loop worker goroutines (0 = all CPUs; any value gives identical results)")
 	verbose := fs.Bool("v", false, "print progress every 30 simulated days")
 	export := fs.String("export", "", "directory to write the three datasets as JSON lines")
 	evDir := fs.String("eventlog", "", "directory to write the run's append-only event log (inspect with logtool)")

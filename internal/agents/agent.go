@@ -1,12 +1,9 @@
 package agents
 
 import (
-	"sort"
-
 	"repro/internal/adcopy"
 	"repro/internal/dataset"
 	"repro/internal/eventlog"
-	"repro/internal/market"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 	"repro/internal/stats"
@@ -50,6 +47,10 @@ type Runtime struct {
 	// aggregate counters. Emission consumes no randomness, so attaching a
 	// sink never perturbs a seeded run.
 	Events eventlog.Sink
+
+	// scratch is Step's reusable plan buffer (single-goroutine use only;
+	// parallel callers pass their own plans to PlanStep/ApplyStep).
+	scratch StepPlan
 }
 
 // NewRuntime constructs the agent runtime. universe resolves a vertical
@@ -119,150 +120,13 @@ func (r *Runtime) Hijack(a *Agent, takeover Profile, day simclock.Day) {
 
 // Step runs one day of campaign management for a live agent. It returns
 // the number of ads created (zero when the agent is dormant or its account
-// is no longer active).
+// is no longer active). Step is the fused single-goroutine form of the
+// plan/apply split (see plan.go): it plans into a scratch buffer and
+// applies immediately, producing byte-identical outcomes to the pooled
+// path, which plans many agents concurrently and applies in order.
 func (r *Runtime) Step(a *Agent, day simclock.Day) int {
-	acct := r.p.MustAccount(a.Account)
-	if !acct.Alive() || day < a.StartDay {
-		return 0
-	}
-	created := 0
-
-	// Build out toward the target portfolio.
-	deficit := a.PortfolioSize - len(acct.Ads)
-	build := a.BuildPerDay
-	if build > deficit {
-		build = deficit
-	}
-	for i := 0; i < build; i++ {
-		if r.createAd(a, day) {
-			created++
-		}
-	}
-
-	// Churn: replace ads, discontinuing old campaigns before starting new
-	// ones (§7 observes both strategies; replacement is the common case).
-	if n := stats.Poisson(a.rng, a.ChurnRate); n > 0 && len(acct.Ads) > 0 {
-		if n > len(acct.Ads) {
-			n = len(acct.Ads)
-		}
-		for i := 0; i < n; i++ {
-			old := acct.Ads[a.rng.Intn(len(acct.Ads))]
-			r.p.RetireAd(old)
-			if r.createAd(a, day) {
-				created++
-			}
-		}
-	}
-
-	// Maintenance: modify creatives and bids at the agent's cadence.
-	// Fraudulent advertisers "appear to maintain their ads and keyword
-	// sets at rates similar to other advertisers" (§5.2).
-	if a.rng.Bool(a.MaintainRate) && len(acct.Ads) > 0 {
-		mods := 1 + a.rng.Intn(3)
-		for i := 0; i < mods && len(acct.Ads) > 0; i++ {
-			ad := acct.Ads[a.rng.Intn(len(acct.Ads))]
-			r.p.ModifyAd(ad, ad.Creative)
-			r.col.Campaign(day, a.Account, dataset.ActionAdModify, 1)
-			r.emit(eventlog.Event{Type: eventlog.TypeAdModified, Day: int32(day), Account: int32(a.Account)})
-			if len(ad.Bids) > 0 {
-				bid := ad.Bids[a.rng.Intn(len(ad.Bids))]
-				r.p.ModifyBid(ad, bid, bid.MaxBid*a.rng.Range(0.85, 1.2))
-				r.col.Campaign(day, a.Account, dataset.ActionKwModify, 1)
-				r.emit(eventlog.Event{Type: eventlog.TypeBidModified, Day: int32(day), Account: int32(a.Account)})
-			}
-		}
-	}
-	return created
-}
-
-// createAd posts one ad with its keyword bids.
-func (r *Runtime) createAd(a *Agent, day simclock.Day) bool {
-	u := r.universe(a.VerticalIdx)
-	if u == nil || u.Size() == 0 {
-		return false
-	}
-	domain := a.domains[a.rng.Intn(len(a.domains))]
-	kws := u.SampleKeywords(a.rng, a.KeywordsPerAd, a.KeywordSkew, a.PocketStart, a.PocketSpan)
-
-	var creative adcopy.Creative
-	if r.FullCreatives {
-		creative = r.copygen.Creative(a.Vertical, u.Keywords[kws[0]].Phrase, domain, a.Evasion)
-	} else {
-		// Carry only the fields detection and analysis consume.
-		creative = adcopy.Creative{
-			DisplayURL:  "www." + domain,
-			DestURL:     "http://" + domain + "/",
-			HasPhone:    a.Vertical == "techsupport",
-			EvasionUsed: a.Evasion > 0 && a.rng.Bool(a.Evasion),
-		}
-	}
-
-	quality := clamp(a.Quality+0.05*a.rng.NormFloat64(), 0.02, 1)
-	at := simclock.StampAt(day, a.rng.Float64())
-	// On the agent's first active day the random within-day fraction can
-	// land before the account's registration stamp; campaign actions must
-	// never precede the account itself.
-	if created := r.p.MustAccount(a.Account).Created; at < created {
-		at = created + 0.01
-	}
-	ad, err := r.p.CreateAd(a.Account, a.Vertical, a.Target, creative, quality, at)
-	if err != nil {
-		return false
-	}
-	r.col.Campaign(day, a.Account, dataset.ActionAdCreate, 1)
-	// Events carry the loop day, not at.Day(): the clamp above can push a
-	// stamp across a day boundary, and the collector's campaign counters
-	// are keyed by the loop day.
-	r.emit(eventlog.Event{Type: eventlog.TypeAdCreated, Day: int32(day), Account: int32(a.Account), Vertical: int32(a.VerticalIdx)})
-
-	def := market.Get(a.Target).DefaultMaxBid
-	vinfo := r.vertInfoBid(a)
-	// Draw a match type per keyword slot, then pair exact matches with the
-	// most popular keywords: advertisers place exact bids on the
-	// high-volume queries they know, and spray phrase/broad over the tail.
-	matches := make([]platform.MatchType, len(kws))
-	for i := range matches {
-		matches[i] = platform.MatchTypes[stats.Categorical(a.rng, a.MatchMix[:])]
-	}
-	sort.Ints(kws) // ascending keyword ID == descending popularity
-	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
-	for i, kw := range kws {
-		match := matches[i]
-		// "the median maximum bid is the same as the default amount in US
-		// markets" (§5.3): a majority of advertisers keep the default;
-		// the rest bid to their vertical's level.
-		maxBid := def
-		if !a.rng.Bool(a.DefaultBidProb) {
-			maxBid = def * vinfo * a.BidScale * clamp(1+0.3*a.rng.NormFloat64(), 0.3, 3)
-		}
-		bid := platform.KeywordBid{
-			KeywordID: kw,
-			Cluster:   u.Keywords[kw].Cluster,
-			Match:     match,
-			MaxBid:    maxBid,
-		}
-		if err := r.p.AddBid(ad, bid, at); err == nil {
-			r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
-			r.col.BidCreated(a.Account, match, maxBid/def)
-			r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(match), Amount: maxBid / def})
-		}
-		// Advertisers who use exact matching duplicate their head
-		// keywords across match types: the exact bid captures the bare
-		// query precisely while the looser bid catches the long tail.
-		// This is why exact matches dominate received clicks (Table 4)
-		// even though exact bids are a minority of the bid book.
-		if match != platform.MatchExact && a.MatchMix[platform.MatchExact] > 0 &&
-			i < (len(kws)+2)/3 && a.rng.Bool(0.6) {
-			dup := bid
-			dup.Match = platform.MatchExact
-			if err := r.p.AddBid(ad, dup, at); err == nil {
-				r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
-				r.col.BidCreated(a.Account, platform.MatchExact, dup.MaxBid/def)
-				r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(platform.MatchExact), Amount: dup.MaxBid / def})
-			}
-		}
-	}
-	return true
+	r.PlanStep(a, day, &r.scratch)
+	return r.ApplyStep(a, day, &r.scratch)
 }
 
 // emit forwards a campaign event to the sink, if one is attached.

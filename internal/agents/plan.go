@@ -1,0 +1,318 @@
+package agents
+
+// Plan/apply split of the daily campaign-management step.
+//
+// Step used to be one fused loop: draw a decision, mutate the platform,
+// repeat. To run agents on a worker pool without perturbing a seeded run,
+// the step is split into two halves with a strict contract:
+//
+//   - PlanStep is read-only. Every behavioral decision and every RNG draw
+//     happens here, against frozen platform state, recorded into a
+//     StepPlan. Each agent draws only from its private stream and reads
+//     only its own account plus immutable tables (keyword universes,
+//     market data), so PlanStep is safe to call concurrently for distinct
+//     agents.
+//   - ApplyStep executes the recorded operations — platform mutations,
+//     collector records, event emission — with no RNG draws from the
+//     agent's stream. The simulation goroutine applies plans in canonical
+//     (live-list) order, so index insertion order, collector folds and
+//     event-log bytes match the fused sequential loop exactly.
+//
+// The one subtlety is that decisions reference the evolving ad list: a
+// churn victim is drawn from the ads present *after* this morning's
+// builds, and CreateAd appends while RetireAd swap-removes. PlanStep
+// mirrors that evolution symbolically (adsSim tracks each slot's bid
+// count), so the Intn draws that pick victims and maintenance targets
+// land on exactly the ads the fused loop would have picked.
+//
+// Shared-stream draws are split by half: the agent's private stream is
+// consumed entirely at plan time; the runtime's shared ad-copy generator
+// (FullCreatives only) is consumed at apply time, in canonical order —
+// the same order the fused loop consumed it.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adcopy"
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+type opKind uint8
+
+const (
+	opCreate opKind = iota
+	opRetire
+	opModAd
+	opModBid
+)
+
+// planOp is one recorded operation. slot indexes the account's Ads list
+// at execution time (the plan's symbolic mirror guarantees it is valid);
+// create indexes StepPlan.creates; bidIdx/mult parameterize a bid
+// modification.
+type planOp struct {
+	kind   opKind
+	slot   int32
+	bidIdx int32
+	create int32
+	mult   float64
+}
+
+// planBid is one keyword bid of a planned ad, fully resolved at plan
+// time: the apply half calls AddBid with exactly these values.
+type planBid struct {
+	kw      int32
+	cluster int32
+	match   platform.MatchType
+	maxBid  float64
+}
+
+// createPlan is one planned ad creation. Bids live in the plan's shared
+// arena at [bidOff, bidOff+bidLen). phrase carries the head keyword's
+// phrase for the FullCreatives generator, whose shared stream is drawn at
+// apply time.
+type createPlan struct {
+	domain      string
+	phrase      string
+	evasionUsed bool
+	quality     float64
+	at          simclock.Stamp
+	bidOff      int32
+	bidLen      int32
+}
+
+// StepPlan is the recorded outcome of one agent's PlanStep, reusable
+// across days: reset keeps the backing arrays.
+type StepPlan struct {
+	active  bool
+	ops     []planOp
+	creates []createPlan
+	bids    []planBid
+
+	// adsSim mirrors the account's ad list while planning: one entry per
+	// ad slot holding its bid count (the only property later draws need).
+	adsSim []int32
+}
+
+func (p *StepPlan) reset() {
+	p.active = false
+	p.ops = p.ops[:0]
+	p.creates = p.creates[:0]
+	p.bids = p.bids[:0]
+	p.adsSim = p.adsSim[:0]
+}
+
+// PlanStep runs the decision half of one day of campaign management for
+// a live agent, recording the operations into plan (which is reset
+// first). It performs no platform, collector or event-sink writes.
+func (r *Runtime) PlanStep(a *Agent, day simclock.Day, plan *StepPlan) {
+	plan.reset()
+	acct := r.p.MustAccount(a.Account)
+	if !acct.Alive() || day < a.StartDay {
+		return
+	}
+	plan.active = true
+	for _, ad := range acct.Ads {
+		plan.adsSim = append(plan.adsSim, int32(len(ad.Bids)))
+	}
+	created := acct.Created
+
+	// Build out toward the target portfolio.
+	deficit := a.PortfolioSize - len(acct.Ads)
+	build := a.BuildPerDay
+	if build > deficit {
+		build = deficit
+	}
+	for i := 0; i < build; i++ {
+		r.planCreateAd(a, day, created, plan)
+	}
+
+	// Churn: replace ads, discontinuing old campaigns before starting new
+	// ones (§7 observes both strategies; replacement is the common case).
+	if n := stats.Poisson(a.rng, a.ChurnRate); n > 0 && len(plan.adsSim) > 0 {
+		if n > len(plan.adsSim) {
+			n = len(plan.adsSim)
+		}
+		for i := 0; i < n; i++ {
+			slot := a.rng.Intn(len(plan.adsSim))
+			// Mirror platform.RetireAd's swap-remove.
+			plan.adsSim[slot] = plan.adsSim[len(plan.adsSim)-1]
+			plan.adsSim = plan.adsSim[:len(plan.adsSim)-1]
+			plan.ops = append(plan.ops, planOp{kind: opRetire, slot: int32(slot)})
+			r.planCreateAd(a, day, created, plan)
+		}
+	}
+
+	// Maintenance: modify creatives and bids at the agent's cadence.
+	// Fraudulent advertisers "appear to maintain their ads and keyword
+	// sets at rates similar to other advertisers" (§5.2).
+	if a.rng.Bool(a.MaintainRate) && len(plan.adsSim) > 0 {
+		mods := 1 + a.rng.Intn(3)
+		for i := 0; i < mods && len(plan.adsSim) > 0; i++ {
+			slot := a.rng.Intn(len(plan.adsSim))
+			plan.ops = append(plan.ops, planOp{kind: opModAd, slot: int32(slot)})
+			if nb := plan.adsSim[slot]; nb > 0 {
+				bidIdx := a.rng.Intn(int(nb))
+				mult := a.rng.Range(0.85, 1.2)
+				plan.ops = append(plan.ops, planOp{kind: opModBid, slot: int32(slot), bidIdx: int32(bidIdx), mult: mult})
+			}
+		}
+	}
+}
+
+// planCreateAd draws one ad creation — domain, keywords, quality, stamp,
+// match types and bid amounts — and records it. The draw sequence is
+// exactly the fused createAd's.
+func (r *Runtime) planCreateAd(a *Agent, day simclock.Day, created simclock.Stamp, plan *StepPlan) {
+	u := r.universe(a.VerticalIdx)
+	if u == nil || u.Size() == 0 {
+		return
+	}
+	domain := a.domains[a.rng.Intn(len(a.domains))]
+	kws := u.SampleKeywords(a.rng, a.KeywordsPerAd, a.KeywordSkew, a.PocketStart, a.PocketSpan)
+
+	cp := createPlan{domain: domain}
+	if r.FullCreatives {
+		cp.phrase = u.Keywords[kws[0]].Phrase
+	} else {
+		cp.evasionUsed = a.Evasion > 0 && a.rng.Bool(a.Evasion)
+	}
+	cp.quality = clamp(a.Quality+0.05*a.rng.NormFloat64(), 0.02, 1)
+	at := simclock.StampAt(day, a.rng.Float64())
+	// On the agent's first active day the random within-day fraction can
+	// land before the account's registration stamp; campaign actions must
+	// never precede the account itself.
+	if at < created {
+		at = created + 0.01
+	}
+	cp.at = at
+
+	def := market.Get(a.Target).DefaultMaxBid
+	vinfo := r.vertInfoBid(a)
+	// Draw a match type per keyword slot, then pair exact matches with the
+	// most popular keywords: advertisers place exact bids on the
+	// high-volume queries they know, and spray phrase/broad over the tail.
+	matches := make([]platform.MatchType, len(kws))
+	for i := range matches {
+		matches[i] = platform.MatchTypes[stats.Categorical(a.rng, a.MatchMix[:])]
+	}
+	sort.Ints(kws) // ascending keyword ID == descending popularity
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	cp.bidOff = int32(len(plan.bids))
+	for i, kw := range kws {
+		match := matches[i]
+		// "the median maximum bid is the same as the default amount in US
+		// markets" (§5.3): a majority of advertisers keep the default;
+		// the rest bid to their vertical's level.
+		maxBid := def
+		if !a.rng.Bool(a.DefaultBidProb) {
+			maxBid = def * vinfo * a.BidScale * clamp(1+0.3*a.rng.NormFloat64(), 0.3, 3)
+		}
+		plan.bids = append(plan.bids, planBid{
+			kw:      int32(kw),
+			cluster: int32(u.Keywords[kw].Cluster),
+			match:   match,
+			maxBid:  maxBid,
+		})
+		// Advertisers who use exact matching duplicate their head
+		// keywords across match types: the exact bid captures the bare
+		// query precisely while the looser bid catches the long tail.
+		// This is why exact matches dominate received clicks (Table 4)
+		// even though exact bids are a minority of the bid book.
+		if match != platform.MatchExact && a.MatchMix[platform.MatchExact] > 0 &&
+			i < (len(kws)+2)/3 && a.rng.Bool(0.6) {
+			plan.bids = append(plan.bids, planBid{
+				kw:      int32(kw),
+				cluster: int32(u.Keywords[kw].Cluster),
+				match:   platform.MatchExact,
+				maxBid:  maxBid,
+			})
+		}
+	}
+	cp.bidLen = int32(len(plan.bids)) - cp.bidOff
+	plan.creates = append(plan.creates, cp)
+	plan.ops = append(plan.ops, planOp{kind: opCreate, create: int32(len(plan.creates) - 1)})
+	plan.adsSim = append(plan.adsSim, cp.bidLen)
+}
+
+// ApplyStep executes a recorded plan: all platform mutations, collector
+// records and event emissions, in recorded order. It returns the number
+// of ads created. It must run on the simulation goroutine; plans are
+// applied in canonical agent order so every order-sensitive byte (index
+// insertion, shared creative stream, event log) matches the fused loop.
+func (r *Runtime) ApplyStep(a *Agent, day simclock.Day, plan *StepPlan) int {
+	if !plan.active {
+		return 0
+	}
+	acct := r.p.MustAccount(a.Account)
+	created := 0
+	var def float64
+	if len(plan.creates) > 0 {
+		def = market.Get(a.Target).DefaultMaxBid
+	}
+	for _, op := range plan.ops {
+		switch op.kind {
+		case opRetire:
+			r.p.RetireAd(acct.Ads[op.slot])
+		case opModAd:
+			ad := acct.Ads[op.slot]
+			r.p.ModifyAd(ad, ad.Creative)
+			r.col.Campaign(day, a.Account, dataset.ActionAdModify, 1)
+			r.emit(eventlog.Event{Type: eventlog.TypeAdModified, Day: int32(day), Account: int32(a.Account)})
+		case opModBid:
+			ad := acct.Ads[op.slot]
+			bid := ad.Bids[op.bidIdx]
+			r.p.ModifyBid(ad, bid, bid.MaxBid*op.mult)
+			r.col.Campaign(day, a.Account, dataset.ActionKwModify, 1)
+			r.emit(eventlog.Event{Type: eventlog.TypeBidModified, Day: int32(day), Account: int32(a.Account)})
+		case opCreate:
+			cp := &plan.creates[op.create]
+			var creative adcopy.Creative
+			if r.FullCreatives {
+				creative = r.copygen.Creative(a.Vertical, cp.phrase, cp.domain, a.Evasion)
+			} else {
+				// Carry only the fields detection and analysis consume.
+				creative = adcopy.Creative{
+					DisplayURL:  "www." + cp.domain,
+					DestURL:     "http://" + cp.domain + "/",
+					HasPhone:    a.Vertical == "techsupport",
+					EvasionUsed: cp.evasionUsed,
+				}
+			}
+			ad, err := r.p.CreateAd(a.Account, a.Vertical, a.Target, creative, cp.quality, cp.at)
+			if err != nil {
+				// The plan was drawn against the same frozen state the apply
+				// half runs on, so a rejection means the two halves disagree
+				// about the world — a contract violation, not a recoverable
+				// condition.
+				panic(fmt.Sprintf("agents: planned ad create rejected: %v", err))
+			}
+			created++
+			r.col.Campaign(day, a.Account, dataset.ActionAdCreate, 1)
+			// Events carry the loop day, not at.Day(): the first-day clamp
+			// can push a stamp across a day boundary, and the collector's
+			// campaign counters are keyed by the loop day.
+			r.emit(eventlog.Event{Type: eventlog.TypeAdCreated, Day: int32(day), Account: int32(a.Account), Vertical: int32(a.VerticalIdx)})
+			for _, pb := range plan.bids[cp.bidOff : cp.bidOff+cp.bidLen] {
+				bid := platform.KeywordBid{
+					KeywordID: int(pb.kw),
+					Cluster:   int(pb.cluster),
+					Match:     pb.match,
+					MaxBid:    pb.maxBid,
+				}
+				if err := r.p.AddBid(ad, bid, cp.at); err == nil {
+					r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
+					r.col.BidCreated(a.Account, pb.match, pb.maxBid/def)
+					r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(pb.match), Amount: pb.maxBid / def})
+				}
+			}
+		}
+	}
+	return created
+}

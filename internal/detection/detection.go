@@ -18,6 +18,7 @@ package detection
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/eventlog"
@@ -175,6 +176,15 @@ type state struct {
 	det      Detectability
 	enrolled simclock.Stamp
 
+	// rng is the account's private sweep stream, forked from the pipeline
+	// stream at enrollment. The nightly detectors draw a data-dependent
+	// number of deviates per account (rejection sampling, outcome-gated
+	// draws), so a shared stream could not be partitioned by draw count
+	// the way serving's click stream is; a stream per account makes the
+	// sweep's decisions independent of scan order — the property the
+	// sharded parallel sweep rests on.
+	rng stats.RNG
+
 	baseDue       simclock.Stamp
 	baseStage     dataset.DetectionStage
 	baseScheduled bool // post-ad base hazard has been drawn
@@ -208,10 +218,15 @@ type Pipeline struct {
 
 	// states is indexed by AccountID (dense, platform-issued); entries are
 	// nil for unmonitored accounts. A slice keeps the daily sweep order
-	// deterministic — map iteration order would desynchronize RNG
-	// consumption across runs with the same seed.
+	// deterministic — map iteration order would desynchronize enforcement
+	// order across runs with the same seed.
 	states    []*state
 	monitored int
+
+	// workers is the sweep's scan parallelism (SetWorkers); shards holds
+	// the per-worker outcome buffers, reused across days.
+	workers int
+	shards  [][]sweepOutcome
 
 	// Shutdowns counts enforcement actions by stage (diagnostics).
 	Shutdowns map[dataset.DetectionStage]int
@@ -290,6 +305,7 @@ func (d *Pipeline) Screen(id platform.AccountID, det Detectability, at simclock.
 // identity/verification hazard.
 func (d *Pipeline) Enroll(id platform.AccountID, det Detectability, at simclock.Stamp) {
 	s := &state{id: id, det: det, enrolled: at, baseDue: noDue, flagDue: noDue, paymentDue: noDue}
+	s.rng = *d.rng.Fork()
 	if det.Fraud {
 		// Pre-ad verification failures; the post-ad review hazard is
 		// scheduled lazily when the account begins posting ads.
@@ -322,18 +338,50 @@ func (d *Pipeline) Enroll(id platform.AccountID, det Detectability, at simclock.
 
 // flag sends an account to the manual review queue; shutdown follows after
 // the review latency ("many of these mechanisms ... involve a manual
-// review of the advertiser account" §3.2).
+// review of the advertiser account" §3.2). The latency draw comes from
+// the account's private stream: flag is called from the (possibly
+// concurrent) sweep scan.
 func (d *Pipeline) flag(s *state, at simclock.Stamp, stage dataset.DetectionStage) {
-	due := simclock.Stamp(float64(at) + stats.Exponential(d.rng, d.cfg.ReviewLatencyMean))
+	due := simclock.Stamp(float64(at) + stats.Exponential(&s.rng, d.cfg.ReviewLatencyMean))
 	if due < s.flagDue {
 		s.flagDue, s.flagStage = due, stage
 	}
+}
+
+// sweepOutcome is one account's staged decision from the scan half of
+// the nightly sweep: either "stop monitoring, no enforcement" (drop) or
+// "enforce at due/stage". Outcomes are merged in ID order.
+type sweepOutcome struct {
+	idx   int32
+	drop  bool
+	due   simclock.Stamp
+	stage dataset.DetectionStage
+}
+
+// SetWorkers sets the sweep's scan parallelism. Because every account
+// scans from its own private RNG stream and enforcement is merged in ID
+// order, the worker count never changes a seeded trajectory — it is a
+// pure throughput knob, like sim.Config.Workers (which drives it).
+func (d *Pipeline) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.workers = n
 }
 
 // EndOfDay runs the daily detection sweep: activity detectors over every
 // monitored live account, then enforcement of everything due. It returns
 // the accounts shut down, in ID order (callers use this to model actor
 // reactions such as re-registration).
+//
+// The sweep is freeze-then-merge: the scan half reads frozen platform
+// state (its own account's counters, the ledger) and draws only from the
+// account's private stream, so with Workers > 1 it fans out over
+// contiguous ID blocks; the enforcement half — shutdowns, collector
+// records, events, counters — runs on the caller's goroutine in ID
+// order. With one worker the two halves run fused per account, which
+// yields the same bytes: a scan depends only on its own account, never
+// on an earlier account's enforcement.
 func (d *Pipeline) EndOfDay(day simclock.Day) []platform.AccountID {
 	// Everything due before the next day begins is enforced tonight; a
 	// due date in the last millisecond of today must not buy the account
@@ -341,118 +389,182 @@ func (d *Pipeline) EndOfDay(day simclock.Day) []platform.AccountID {
 	dayEnd := simclock.StampAt(day+1, 0)
 	banActive := day >= d.cfg.TechSupportBanDay
 	var shut []platform.AccountID
-	for i, s := range d.states {
-		if s == nil {
-			continue
-		}
-		id := platform.AccountID(i)
-		acct := d.p.MustAccount(id)
-		if acct.Status != platform.StatusActive {
-			d.states[i] = nil
-			d.monitored--
-			continue
-		}
-
-		imprDelta := acct.Impressions - s.lastImpr
-		clickDelta := acct.Clicks - s.lastClicks
-		s.lastImpr = acct.Impressions
-		s.lastClicks = acct.Clicks
-
-		// Once a fraud account begins posting ads, draw its post-ad review
-		// hazard: lognormal from first-ad time, scaled by market maturity
-		// and by the study-long detection improvement. Accounts that were
-		// already posting when monitoring began (hijacked legitimate
-		// accounts) measure from enrollment instead.
-		if s.det.Fraud && !s.baseScheduled && acct.FirstAdAt != platform.NoStamp {
-			s.baseScheduled = true
-			from := acct.FirstAdAt
-			if s.enrolled > from {
-				from = s.enrolled
+	n := len(d.states)
+	w := d.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, s := range d.states {
+			if s == nil {
+				continue
 			}
-			med, sig := d.cfg.BaseMedianDays, d.cfg.BaseSigma
-			if s.det.Prolific {
-				med, sig = d.cfg.ProlificMedianDays, d.cfg.ProlificSigma
+			acct := d.p.MustAccount(s.id)
+			if acct.Status != platform.StatusActive {
+				d.states[i] = nil
+				d.monitored--
+				continue
 			}
-			delay := med * math.Exp(sig*d.rng.NormFloat64())
-			// The slow tail models long-term monitoring misses on small
-			// operators; prolific accounts are excluded — their base
-			// hazard is already weeks long, and stacking multipliers on
-			// the biggest spenders would let out-of-window activity
-			// (Figure 3) dominate rather than shadow the in-window line.
-			if !s.det.Prolific && d.rng.Bool(d.cfg.SlowTailProb) {
-				delay *= d.rng.Range(d.cfg.SlowTailMin, d.cfg.SlowTailMax)
-			}
-			delay *= market.Get(s.det.Target).SuccessFactor
-			delay *= d.improvement(from)
-			// Burned identities correlate with faster review outcomes.
-			delay *= math.Pow(0.6, generationFactor(s.det.Generation))
-			due := simclock.Stamp(float64(from) + delay)
-			if due < s.baseDue {
-				s.baseDue = due
-				s.baseStage = dataset.StageManualReview
+			if due, stage, hit := d.scanAccount(s, acct, dayEnd, banActive); hit {
+				shut = d.enforce(s, due, stage, shut)
+				d.states[i] = nil
+				d.monitored--
 			}
 		}
+		return shut
+	}
 
-		// Detector sensitivity tightens over the study as thresholds,
-		// blacklists and models mature — the same improvement trend that
-		// shortens the base hazard.
-		tighten := 1 / d.improvement(dayEnd)
-
-		// Rate anomaly: unusual serving velocity, discounted by how well
-		// the account blends with similar-volume legitimate traffic.
-		if rate := float64(imprDelta); rate > d.cfg.RateThreshold {
-			excess := rate/d.cfg.RateThreshold - 1
-			p := d.cfg.RateDetectProb * (1 - s.det.Blend) * math.Min(1, excess) * tighten
-			if d.rng.Bool(math.Min(p, 1)) {
-				d.flag(s, dayEnd, dataset.StageRateAnomaly)
-			}
-		}
-
-		// Blacklists: text/keyword exposure, plus the phone-pattern
-		// detector whose canonicalizer defeats most obfuscation.
-		if s.det.Fraud || s.det.PageRisk > 0.1 {
-			p := d.cfg.BlacklistBase * s.det.TextRisk * s.det.PageRisk
-			if s.det.HasPhoneAds {
-				if s.det.TextRisk > 0.5 {
-					p += d.cfg.PhoneDetectProb
-				} else {
-					p += d.cfg.PhoneEvadedProb
+	for len(d.shards) < w {
+		d.shards = append(d.shards, nil)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out := d.shards[k][:0]
+			for i := k * n / w; i < (k+1)*n/w; i++ {
+				s := d.states[i]
+				if s == nil {
+					continue
+				}
+				acct := d.p.MustAccount(s.id)
+				if acct.Status != platform.StatusActive {
+					out = append(out, sweepOutcome{idx: int32(i), drop: true})
+					continue
+				}
+				if due, stage, hit := d.scanAccount(s, acct, dayEnd, banActive); hit {
+					out = append(out, sweepOutcome{idx: int32(i), due: due, stage: stage})
 				}
 			}
-			if imprDelta > 0 && d.rng.Bool(math.Min(p*tighten, 1)) {
-				d.flag(s, dayEnd, dataset.StageBlacklist)
-			}
-		}
-
-		// Complaints accumulate with scammy clicks; enough of them force
-		// an investigation ("Bing accepts manual reporting" §3.2).
-		s.complaints += float64(clickDelta) * s.det.PageRisk * d.cfg.ComplaintPerClick
-		if s.complaints >= d.cfg.ComplaintThreshold {
-			s.complaints = 0
-			d.flag(s, dayEnd, dataset.StageComplaint)
-		}
-
-		// Payment network signals: chargebacks on stolen instruments.
-		if s.paymentDue == noDue && d.p.Ledger().ChargebackExposure(id) > d.cfg.PaymentExposure {
-			s.paymentDue = simclock.Stamp(float64(dayEnd) + stats.Exponential(d.rng, d.cfg.PaymentLatencyMean)*d.improvement(dayEnd))
-		}
-
-		// Policy sweep of pre-ban techsupport accounts.
-		if banActive && s.det.Vertical == verticals.TechSupport && s.flagDue == noDue {
-			due := simclock.Stamp(float64(dayEnd) + stats.Exponential(d.rng, d.cfg.PolicySweepMean))
-			s.flagDue, s.flagStage = due, dataset.StagePolicy
-		}
-
-		if due, stage := s.earliest(); due <= dayEnd {
-			if err := d.p.Shutdown(id, due, stage.String()); err == nil {
-				d.col.Detection(dataset.DetectionRecord{Account: id, At: due, Stage: stage, Reason: stage.String()})
-				d.emit(id, due, stage, stage.String())
-				d.Shutdowns[stage]++
-				shut = append(shut, id)
+			d.shards[k] = out
+		}(k)
+	}
+	wg.Wait()
+	// Merge: shards cover contiguous ID blocks in order, so walking them
+	// in shard order is ID order — the sequential enforcement order.
+	for k := 0; k < w; k++ {
+		for _, o := range d.shards[k] {
+			i := int(o.idx)
+			if !o.drop {
+				shut = d.enforce(d.states[i], o.due, o.stage, shut)
 			}
 			d.states[i] = nil
 			d.monitored--
 		}
+	}
+	return shut
+}
+
+// scanAccount runs the decision half of the sweep for one monitored
+// active account: update activity deltas, schedule/roll every detector
+// from the account's private stream, and report whether enforcement is
+// due tonight. It mutates only s and is safe to run concurrently for
+// distinct accounts — platform reads are confined to the account's own
+// record and the (frozen) ledger.
+func (d *Pipeline) scanAccount(s *state, acct *platform.Account, dayEnd simclock.Stamp, banActive bool) (simclock.Stamp, dataset.DetectionStage, bool) {
+	imprDelta := acct.Impressions - s.lastImpr
+	clickDelta := acct.Clicks - s.lastClicks
+	s.lastImpr = acct.Impressions
+	s.lastClicks = acct.Clicks
+
+	// Once a fraud account begins posting ads, draw its post-ad review
+	// hazard: lognormal from first-ad time, scaled by market maturity
+	// and by the study-long detection improvement. Accounts that were
+	// already posting when monitoring began (hijacked legitimate
+	// accounts) measure from enrollment instead.
+	if s.det.Fraud && !s.baseScheduled && acct.FirstAdAt != platform.NoStamp {
+		s.baseScheduled = true
+		from := acct.FirstAdAt
+		if s.enrolled > from {
+			from = s.enrolled
+		}
+		med, sig := d.cfg.BaseMedianDays, d.cfg.BaseSigma
+		if s.det.Prolific {
+			med, sig = d.cfg.ProlificMedianDays, d.cfg.ProlificSigma
+		}
+		delay := med * math.Exp(sig*s.rng.NormFloat64())
+		// The slow tail models long-term monitoring misses on small
+		// operators; prolific accounts are excluded — their base
+		// hazard is already weeks long, and stacking multipliers on
+		// the biggest spenders would let out-of-window activity
+		// (Figure 3) dominate rather than shadow the in-window line.
+		if !s.det.Prolific && s.rng.Bool(d.cfg.SlowTailProb) {
+			delay *= s.rng.Range(d.cfg.SlowTailMin, d.cfg.SlowTailMax)
+		}
+		delay *= market.Get(s.det.Target).SuccessFactor
+		delay *= d.improvement(from)
+		// Burned identities correlate with faster review outcomes.
+		delay *= math.Pow(0.6, generationFactor(s.det.Generation))
+		due := simclock.Stamp(float64(from) + delay)
+		if due < s.baseDue {
+			s.baseDue = due
+			s.baseStage = dataset.StageManualReview
+		}
+	}
+
+	// Detector sensitivity tightens over the study as thresholds,
+	// blacklists and models mature — the same improvement trend that
+	// shortens the base hazard.
+	tighten := 1 / d.improvement(dayEnd)
+
+	// Rate anomaly: unusual serving velocity, discounted by how well
+	// the account blends with similar-volume legitimate traffic.
+	if rate := float64(imprDelta); rate > d.cfg.RateThreshold {
+		excess := rate/d.cfg.RateThreshold - 1
+		p := d.cfg.RateDetectProb * (1 - s.det.Blend) * math.Min(1, excess) * tighten
+		if s.rng.Bool(math.Min(p, 1)) {
+			d.flag(s, dayEnd, dataset.StageRateAnomaly)
+		}
+	}
+
+	// Blacklists: text/keyword exposure, plus the phone-pattern
+	// detector whose canonicalizer defeats most obfuscation.
+	if s.det.Fraud || s.det.PageRisk > 0.1 {
+		p := d.cfg.BlacklistBase * s.det.TextRisk * s.det.PageRisk
+		if s.det.HasPhoneAds {
+			if s.det.TextRisk > 0.5 {
+				p += d.cfg.PhoneDetectProb
+			} else {
+				p += d.cfg.PhoneEvadedProb
+			}
+		}
+		if imprDelta > 0 && s.rng.Bool(math.Min(p*tighten, 1)) {
+			d.flag(s, dayEnd, dataset.StageBlacklist)
+		}
+	}
+
+	// Complaints accumulate with scammy clicks; enough of them force
+	// an investigation ("Bing accepts manual reporting" §3.2).
+	s.complaints += float64(clickDelta) * s.det.PageRisk * d.cfg.ComplaintPerClick
+	if s.complaints >= d.cfg.ComplaintThreshold {
+		s.complaints = 0
+		d.flag(s, dayEnd, dataset.StageComplaint)
+	}
+
+	// Payment network signals: chargebacks on stolen instruments.
+	if s.paymentDue == noDue && d.p.Ledger().ChargebackExposure(s.id) > d.cfg.PaymentExposure {
+		s.paymentDue = simclock.Stamp(float64(dayEnd) + stats.Exponential(&s.rng, d.cfg.PaymentLatencyMean)*d.improvement(dayEnd))
+	}
+
+	// Policy sweep of pre-ban techsupport accounts.
+	if banActive && s.det.Vertical == verticals.TechSupport && s.flagDue == noDue {
+		due := simclock.Stamp(float64(dayEnd) + stats.Exponential(&s.rng, d.cfg.PolicySweepMean))
+		s.flagDue, s.flagStage = due, dataset.StagePolicy
+	}
+
+	due, stage := s.earliest()
+	return due, stage, due <= dayEnd
+}
+
+// enforce executes one due shutdown: platform action, collector record,
+// event, counters. It runs on the sweep caller's goroutine, in ID order.
+func (d *Pipeline) enforce(s *state, due simclock.Stamp, stage dataset.DetectionStage, shut []platform.AccountID) []platform.AccountID {
+	if err := d.p.Shutdown(s.id, due, stage.String()); err == nil {
+		d.col.Detection(dataset.DetectionRecord{Account: s.id, At: due, Stage: stage, Reason: stage.String()})
+		d.emit(s.id, due, stage, stage.String())
+		d.Shutdowns[stage]++
+		shut = append(shut, s.id)
 	}
 	return shut
 }

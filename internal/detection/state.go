@@ -22,6 +22,7 @@ type AccountState struct {
 	ID       platform.AccountID
 	Det      Detectability
 	Enrolled simclock.Stamp
+	RNG      stats.RNGState
 
 	BaseDue       simclock.Stamp
 	BaseStage     dataset.DetectionStage
@@ -63,6 +64,7 @@ func (d *Pipeline) State() *PipelineState {
 			ID:            s.id,
 			Det:           s.det,
 			Enrolled:      s.enrolled,
+			RNG:           s.rng.State(),
 			BaseDue:       s.baseDue,
 			BaseStage:     s.baseStage,
 			BaseScheduled: s.baseScheduled,
@@ -102,7 +104,7 @@ func (d *Pipeline) SetState(st *PipelineState) error {
 		if d.states[as.ID] != nil {
 			return fmt.Errorf("detection: pipeline state account %d duplicated", as.ID)
 		}
-		d.states[as.ID] = &state{
+		st := &state{
 			id:            as.ID,
 			det:           as.Det,
 			enrolled:      as.Enrolled,
@@ -116,6 +118,8 @@ func (d *Pipeline) SetState(st *PipelineState) error {
 			lastClicks:    as.LastClicks,
 			complaints:    as.Complaints,
 		}
+		st.rng.SetState(as.RNG)
+		d.states[as.ID] = st
 		d.monitored++
 	}
 	d.Shutdowns = make(map[dataset.DetectionStage]int, len(st.Shutdowns))

@@ -2,7 +2,10 @@ package sim
 
 // Checkpoint file format. A checkpoint is one CRC-framed gob payload:
 //
-//	offset 0: magic "FRSNAP" + one format-version byte (currently 1)
+//	offset 0: magic "FRSNAP" + one format-version byte (currently 2;
+//	          version 2 added the detection pipeline's per-account RNG
+//	          streams and the mid-day phase cursor, which a version-1
+//	          reader would silently misinterpret)
 //	then:     uvarint payload length | payload | crc32c(payload) LE
 //
 // The CRC is computed with the Castagnoli polynomial — the same framing
@@ -23,7 +26,7 @@ import (
 
 // checkpointMagic identifies a checkpoint file; the trailing byte is the
 // format version.
-var checkpointMagic = []byte{'F', 'R', 'S', 'N', 'A', 'P', 1}
+var checkpointMagic = []byte{'F', 'R', 'S', 'N', 'A', 'P', 2}
 
 var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
 

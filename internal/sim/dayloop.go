@@ -1,0 +1,238 @@
+package sim
+
+// The day loop, decomposed into phases (DESIGN.md §8). Each simulated
+// day runs four phases in a fixed order:
+//
+//	arrivals  — policy flags, registrations, re-registrations, account
+//	            takeovers (sequential: one arrival RNG stream)
+//	agents    — campaign management: account closes, then one
+//	            plan/apply step per live agent
+//	serving   — queries, auctions, clicks, billing (serve.go)
+//	detection — the nightly sweep plus actor re-registration reactions
+//
+// The agent and detection phases follow the same freeze-then-merge
+// contract as serving: all cross-account mutation happens on the
+// simulation goroutine at a phase barrier, in canonical order, while the
+// embarrassingly parallel half (per-agent planning from private RNG
+// streams; per-account detector scans from per-account RNG streams) fans
+// out across the Workers pool. Worker count is therefore a pure
+// throughput knob for the whole day loop — every seeded byte (digests,
+// checkpoints, event logs) is identical at any Workers value, proven by
+// the differential matrix in dayloop_test.go.
+//
+// StepPhase exposes the phase boundaries to callers: checkpoints may be
+// taken between any two phases, not just between days, and resumed at a
+// different worker count.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/agents"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// Phase identifies the sub-phase of the day loop a Sim will run next.
+type Phase uint8
+
+const (
+	PhaseArrivals Phase = iota
+	PhaseAgents
+	PhaseServing
+	PhaseDetection
+)
+
+// String names a phase for diagnostics.
+func (p Phase) String() string {
+	switch p {
+	case PhaseArrivals:
+		return "arrivals"
+	case PhaseAgents:
+		return "agents"
+	case PhaseServing:
+		return "serving"
+	case PhaseDetection:
+		return "detection"
+	}
+	return "invalid"
+}
+
+// PhaseTimes accumulates wall time per day-loop phase; attach with
+// SetPhaseTimes to profile where a day's cost goes (see the dayloop
+// benchmark harness).
+type PhaseTimes struct {
+	Arrivals  time.Duration
+	Agents    time.Duration
+	Serving   time.Duration
+	Detection time.Duration
+}
+
+// SetPhaseTimes attaches (or with nil detaches) a per-phase timing
+// accumulator. Timing reads the wall clock only; it never perturbs a
+// seeded run.
+func (s *Sim) SetPhaseTimes(t *PhaseTimes) { s.timing = t }
+
+// Phase returns the next phase StepPhase will run.
+func (s *Sim) Phase() Phase { return s.phase }
+
+// StepPhase advances the simulation by one phase of the current day. The
+// first call on a fresh Sim seeds the initial population. It returns
+// false — without running anything — once the horizon is reached.
+// Snapshot may be called between any two StepPhase calls, so a
+// checkpoint can be taken mid-day at a phase boundary.
+func (s *Sim) StepPhase() bool {
+	if s.day >= s.cfg.Days {
+		return false
+	}
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	if !s.seeded {
+		s.seedInitialPopulation()
+		s.seeded = true
+	}
+	day := s.day
+	var t0 time.Time
+	if s.timing != nil {
+		t0 = time.Now()
+	}
+	switch s.phase {
+	case PhaseArrivals:
+		s.arrivalsPhase(day)
+		if s.timing != nil {
+			s.timing.Arrivals += time.Since(t0)
+		}
+		s.phase = PhaseAgents
+	case PhaseAgents:
+		s.agentPhase(day)
+		if s.timing != nil {
+			s.timing.Agents += time.Since(t0)
+		}
+		s.phase = PhaseServing
+	case PhaseServing:
+		s.serveQueries(day)
+		if s.timing != nil {
+			s.timing.Serving += time.Since(t0)
+		}
+		s.phase = PhaseDetection
+	case PhaseDetection:
+		s.detectionPhase(day)
+		if s.timing != nil {
+			s.timing.Detection += time.Since(t0)
+		}
+		s.phase = PhaseArrivals
+		s.day++
+	}
+	return s.day < s.cfg.Days
+}
+
+// arrivalsPhase runs policy events, fresh registrations, scheduled
+// re-registrations, and account takeovers. It is sequential: every
+// decision draws from the single arrival stream.
+func (s *Sim) arrivalsPhase(day simclock.Day) {
+	// Policy events visible to arriving fraudsters.
+	if day == s.cfg.Detection.TechSupportBanDay {
+		s.factory.SetTechSupportBanned(true)
+	}
+
+	// Arrivals: fresh registrations plus returning (re-registering)
+	// fraudulent actors.
+	n := stats.Poisson(s.arrRNG, s.cfg.RegistrationsPerDay)
+	share := s.fraudShare(day)
+	for i := 0; i < n; i++ {
+		var prof agents.Profile
+		if s.arrRNG.Bool(share) {
+			prof = s.factory.NewFraud()
+		} else {
+			prof = s.factory.NewLegit()
+		}
+		s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
+	}
+	if returning := s.pendingReregs[day]; len(returning) > 0 {
+		delete(s.pendingReregs, day)
+		for _, prof := range returning {
+			s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
+		}
+	}
+
+	// Account takeovers of mature legitimate advertisers (§2).
+	s.compromiseAccounts(day)
+}
+
+// agentPhase runs one day of campaign management. A sequential pre-pass
+// compacts dead agents out of the live list and closes accounts whose
+// business has run its course (those draws come from the shared arrival
+// stream, in live order); the surviving agents then plan and apply their
+// campaign steps via runAgents.
+func (s *Sim) agentPhase(day simclock.Day) {
+	liveOut := s.live[:0]
+	for _, a := range s.live {
+		acct := s.p.MustAccount(a.Account)
+		if !acct.Alive() {
+			continue
+		}
+		if a.LifetimeDays > 0 && !acct.Fraud &&
+			float64(day)-float64(acct.Created) > a.LifetimeDays {
+			if err := s.p.Close(a.Account, simclock.StampAt(day, s.arrRNG.Float64())); err == nil {
+				continue
+			}
+		}
+		liveOut = append(liveOut, a)
+	}
+	s.live = liveOut
+	s.runAgents(day)
+}
+
+// runAgents steps every live agent once. With one worker the fused
+// plan+apply loop runs inline. With more, planning — all RNG draws,
+// against frozen account state — fans out over contiguous blocks of the
+// live list, and the recorded plans are applied on this goroutine in
+// live order, so platform mutations, collector folds and event bytes
+// land exactly as the fused loop would have landed them. (Plans only
+// read the planning agent's own account, so a plan never depends on
+// another agent's apply; the fused and staged forms are equivalent.)
+func (s *Sim) runAgents(day simclock.Day) {
+	n := len(s.live)
+	w := s.resolveWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for _, a := range s.live {
+			s.runtime.Step(a, day)
+		}
+		return
+	}
+	for len(s.plans) < n {
+		s.plans = append(s.plans, agents.StepPlan{})
+	}
+	plans := s.plans[:n]
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k * n / w; i < (k+1)*n/w; i++ {
+				s.runtime.PlanStep(s.live[i], day, &plans[i])
+			}
+		}(k)
+	}
+	wg.Wait()
+	for i, a := range s.live {
+		s.runtime.ApplyStep(a, day, &plans[i])
+	}
+}
+
+// detectionPhase runs the nightly sweep and the caught actors'
+// re-registration reactions, and maintains the live fraud-account
+// counter the progress callback reports.
+func (s *Sim) detectionPhase(day simclock.Day) {
+	s.pipeline.SetWorkers(s.resolveWorkers())
+	for _, id := range s.pipeline.EndOfDay(day) {
+		if s.p.MustAccount(id).Fraud {
+			s.fraudLive--
+		}
+		s.maybeReregister(id, day)
+	}
+}

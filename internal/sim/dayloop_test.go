@@ -1,0 +1,171 @@
+// Day-loop parallelism suite: dayloop.go extends the Workers contract
+// from serving to the whole day — agent planning and the nightly
+// detection sweep fan out over the same pool — and these tests prove the
+// extended contract the same three ways serve_test.go proves the serving
+// half: a full-run differential matrix (digests AND merged event logs,
+// byte for byte, across workers × seeds), a checkpoint taken at a
+// mid-day phase boundary and resumed at a different worker count, and
+// the phase-cursor state machine itself. CI runs the matrix under -race,
+// which doubles as the data-race proof for the plan/apply and
+// scan/enforce stagings.
+package sim_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// runDigestAndLog runs a config to completion with a slice sink attached
+// and returns the canonical digest bytes plus every event the run
+// emitted, in emission order.
+func runDigestAndLog(t *testing.T, cfg sim.Config) ([]byte, []eventlog.Event) {
+	t.Helper()
+	var sink eventlog.SliceSink
+	cfg.Events = &sink
+	b, err := testutil.MarshalStable(testutil.DigestResult(sim.New(cfg).Run()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, sink.Events
+}
+
+// diffEvents fails the test at the first record where two event streams
+// disagree (or on a length mismatch).
+func diffEvents(t *testing.T, want, got []eventlog.Event) {
+	t.Helper()
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			t.Fatalf("event %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if len(want) != len(got) {
+		t.Fatalf("event log has %d records, sequential log has %d", len(got), len(want))
+	}
+}
+
+// TestParallelDayLoopMatrix is the acceptance matrix for the whole day
+// loop: for each seed, Workers ∈ {2, 5} must reproduce the sequential
+// run's dataset digests AND its event log byte for byte — registrations,
+// campaign edits, impressions, detections, every record in the same
+// order. Unlike the serving-only matrix this exercises the agent
+// plan/apply staging and the sharded detection sweep on every simulated
+// day.
+func TestParallelDayLoopMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a grid of simulations")
+	}
+	for _, seed := range []uint64{11, 23} {
+		seqDigest, seqLog := runDigestAndLog(t, matrixConfig(seed, 1))
+		for _, workers := range []int{2, 5} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				gotDigest, gotLog := runDigestAndLog(t, matrixConfig(seed, workers))
+				if !bytes.Equal(seqDigest, gotDigest) {
+					t.Fatalf("workers=%d diverged from sequential day loop:\n%s",
+						workers, testutil.Diff(string(seqDigest), string(gotDigest)))
+				}
+				diffEvents(t, seqLog, gotLog)
+			})
+		}
+	}
+}
+
+// TestPhaseBoundaryCheckpointResume checkpoints between the agent and
+// serving phases of a mid-run day — a boundary that only exists because
+// StepPhase exposes the phase cursor — and proves the snapshot is
+// portable across worker counts: a workers=3 run snapshotted mid-day,
+// restored, and finished at workers=6 lands on the same digest as an
+// uninterrupted sequential run, and so does the donor run it was
+// snapshotted from.
+func TestPhaseBoundaryCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several partial simulations")
+	}
+	const snapDay = 100 // inside Y1Q2, so window lanes are mid-accumulation
+
+	s := sim.New(matrixConfig(17, 3))
+	for int(s.Day()) < snapDay || s.Phase() != sim.PhaseServing {
+		if !s.StepPhase() {
+			t.Fatal("horizon ended before the snapshot boundary")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var st sim.State
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim.Restore(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Phase() != sim.PhaseServing || int(resumed.Day()) != snapDay {
+		t.Fatalf("restored at day %d phase %s, want day %d phase %s",
+			resumed.Day(), resumed.Phase(), snapDay, sim.PhaseServing)
+	}
+	resumed.SetWorkers(6)
+
+	finish := func(s *sim.Sim) []byte {
+		t.Helper()
+		for s.Step() {
+		}
+		b, err := testutil.MarshalStable(testutil.DigestResult(s.Finish()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	want := digestBytes(t, matrixConfig(17, 1))
+	if got := finish(resumed); !bytes.Equal(want, got) {
+		t.Fatalf("resume at a different worker count diverged:\n%s",
+			testutil.Diff(string(want), string(got)))
+	}
+	if got := finish(s); !bytes.Equal(want, got) {
+		t.Fatalf("donor run diverged after its mid-phase snapshot:\n%s",
+			testutil.Diff(string(want), string(got)))
+	}
+}
+
+// TestStepPhaseSequencing pins the phase state machine: phases cycle
+// arrivals → agents → serving → detection, the day advances only on the
+// detection → arrivals edge, and StepPhase refuses to run past the
+// horizon.
+func TestStepPhaseSequencing(t *testing.T) {
+	cfg := matrixConfig(7, 2)
+	cfg.Days = 3
+	cfg.QueriesPerDay = 100
+	cfg.InitialLegit = 30
+	s := sim.New(cfg)
+
+	order := []sim.Phase{sim.PhaseArrivals, sim.PhaseAgents, sim.PhaseServing, sim.PhaseDetection}
+	for day := 0; day < int(cfg.Days); day++ {
+		for _, want := range order {
+			if s.Phase() != want {
+				t.Fatalf("day %d: phase = %s, want %s", day, s.Phase(), want)
+			}
+			if int(s.Day()) != day {
+				t.Fatalf("phase %s: day = %d, want %d", want, s.Day(), day)
+			}
+			s.StepPhase()
+		}
+	}
+	if s.Day() != cfg.Days || s.Phase() != sim.PhaseArrivals {
+		t.Fatalf("after the horizon: day %d phase %s", s.Day(), s.Phase())
+	}
+	if s.StepPhase() {
+		t.Fatal("StepPhase ran past the horizon")
+	}
+}

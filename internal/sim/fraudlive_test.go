@@ -1,0 +1,77 @@
+package sim
+
+// The progress callback used to rescan the whole live list every
+// reporting day to count surviving fraud accounts — O(live) per report.
+// Step now reads the maintained fraudLive counter instead; this test
+// pins the counter to the scan it replaced at every phase boundary of a
+// full run, and across a snapshot/restore round trip (Restore recomputes
+// it rather than trusting the snapshot).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// fraudAliveScan is the replaced O(live) definition: live-list agents
+// whose account is fraudulent and still active.
+func fraudAliveScan(s *Sim) int {
+	n := 0
+	for _, a := range s.live {
+		if acct := s.p.MustAccount(a.Account); acct.Fraud && acct.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFraudLiveCounterMatchesScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full small simulation")
+	}
+	cfg := SmallConfig()
+	cfg.Seed = 3
+	cfg.Days = 40
+	cfg.QueriesPerDay = 200
+	cfg.RegistrationsPerDay = 8
+	cfg.InitialLegit = 80
+	cfg.Workers = 2
+	s := New(cfg)
+
+	checked := 0
+	for {
+		ok := s.StepPhase()
+		if got, want := s.fraudLive, fraudAliveScan(s); got != want {
+			t.Fatalf("day %d before %s: fraudLive = %d, scan = %d", s.day, s.phase, got, want)
+		}
+		checked++
+		if !ok {
+			break
+		}
+	}
+	if checked < 4*int(cfg.Days) {
+		t.Fatalf("checked only %d phase boundaries", checked)
+	}
+	if s.fraudLive == 0 {
+		t.Fatal("no live fraud accounts at the horizon; the pin never exercised the counter")
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.fraudLive != fraudAliveScan(r) {
+		t.Fatalf("restored fraudLive = %d, scan = %d", r.fraudLive, fraudAliveScan(r))
+	}
+	if r.fraudLive != s.fraudLive {
+		t.Fatalf("restore changed fraudLive: %d != %d", r.fraudLive, s.fraudLive)
+	}
+}

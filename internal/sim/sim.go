@@ -34,13 +34,16 @@ type Config struct {
 	// QueriesPerDay is the served search volume.
 	QueriesPerDay int
 
-	// Workers sets how many goroutines serve each day's queries; 0 (the
-	// default) uses runtime.GOMAXPROCS. Serving is sharded so that every
-	// seeded outcome — dataset digests, billing, event-log bytes, RNG
-	// stream positions — is byte-identical across all Workers values
-	// (see serve.go and the digest matrix in serve_test.go); the setting
-	// is therefore a pure throughput knob and, unlike the shape
-	// parameters above, may differ across a checkpoint/resume boundary.
+	// Workers sets how many goroutines the day loop uses — agent campaign
+	// planning, query serving, and the nightly detection scan are all
+	// sharded across the pool; 0 (the default) uses runtime.GOMAXPROCS.
+	// Every phase follows the freeze-then-merge contract (DESIGN.md §7–8)
+	// so that every seeded outcome — dataset digests, billing, event-log
+	// bytes, RNG stream positions — is byte-identical across all Workers
+	// values (see the differential matrices in serve_test.go and
+	// dayloop_test.go); the setting is therefore a pure throughput knob
+	// and, unlike the shape parameters above, may differ across a
+	// checkpoint/resume boundary.
 	Workers int
 
 	// RegistrationsPerDay is the mean daily account-arrival count.
@@ -179,6 +182,13 @@ type Sim struct {
 	clickRNG *stats.RNG
 
 	live []*agents.Agent
+	// fraudLive counts live-list agents whose accounts are fraudulent and
+	// still active, maintained incrementally (register, compromise,
+	// shutdown) so the progress callback does not rescan the population.
+	fraudLive int
+	// plans is the agent phase's reusable per-agent plan buffer
+	// (workers > 1 only); see dayloop.go.
+	plans []agents.StepPlan
 
 	// fraudProfiles remembers each fraud account's profile so shutdowns
 	// can spawn next-generation re-registrations.
@@ -195,11 +205,14 @@ type Sim struct {
 	// events instead of the main sink (see SetShardEventSinks).
 	shardSinks []eventlog.Sink
 
-	// day is the next day to simulate; seeded records whether the initial
-	// population warmup has run. Together they are the resume cursor.
+	// day is the next day to simulate, phase the next phase of that day,
+	// and seeded records whether the initial population warmup has run.
+	// Together they are the resume cursor.
 	day     simclock.Day
+	phase   Phase
 	seeded  bool
 	started time.Time
+	timing  *PhaseTimes
 
 	res Result
 }
@@ -376,6 +389,9 @@ func (s *Sim) register(prof agents.Profile, at simclock.Stamp) {
 	}
 	s.pipeline.Enroll(acct.ID, det, at)
 	s.live = append(s.live, s.runtime.Spawn(prof, acct.ID, at))
+	if prof.Fraud {
+		s.fraudLive++
+	}
 }
 
 // maybeReregister rolls the recidivism dice for a just-terminated fraud
@@ -406,9 +422,7 @@ func (s *Sim) seedInitialPopulation() {
 		s.register(prof, at)
 	}
 	for day := simclock.Day(-40); day < 0; day++ {
-		for _, a := range s.live {
-			s.runtime.Step(a, day)
-		}
+		s.runAgents(day)
 	}
 }
 
@@ -425,34 +439,23 @@ func (s *Sim) Run() *Result {
 // Step; the checkpointed day on a restored Sim).
 func (s *Sim) Day() simclock.Day { return s.day }
 
-// Step advances the simulation by one day. The first call on a fresh Sim
-// also seeds the initial population. It returns false — without running
-// anything — once the horizon is reached, so `for s.Step() {}` drives a
-// run to completion.
+// Step advances the simulation to the next day boundary: the remaining
+// phases of the current day (all four, starting from a fresh Sim or a
+// day-boundary checkpoint). The first call on a fresh Sim also seeds the
+// initial population. It returns false — without running anything — once
+// the horizon is reached, so `for s.Step() {}` drives a run to
+// completion.
 func (s *Sim) Step() bool {
 	if s.day >= s.cfg.Days {
 		return false
 	}
-	if s.started.IsZero() {
-		s.started = time.Now()
-	}
-	if !s.seeded {
-		s.seedInitialPopulation()
-		s.seeded = true
-	}
 	day := s.day
-	s.stepDay(day)
-	s.day++
+	for s.day == day {
+		s.StepPhase()
+	}
 	if s.cfg.Progress != nil && int(day)%30 == 29 {
-		fraudAlive := 0
-		for _, a := range s.live {
-			acct := s.p.MustAccount(a.Account)
-			if acct.Fraud && acct.Alive() {
-				fraudAlive++
-			}
-		}
 		s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
-			day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, fraudAlive))
+			day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, s.fraudLive))
 	}
 	return s.day < s.cfg.Days
 }
@@ -465,65 +468,6 @@ func (s *Sim) Finish() *Result {
 		s.res.Elapsed = time.Since(s.started)
 	}
 	return &s.res
-}
-
-// stepDay advances the world by one day.
-func (s *Sim) stepDay(day simclock.Day) {
-	// Policy events visible to arriving fraudsters.
-	if day == s.cfg.Detection.TechSupportBanDay {
-		s.factory.SetTechSupportBanned(true)
-	}
-
-	// Arrivals: fresh registrations plus returning (re-registering)
-	// fraudulent actors.
-	n := stats.Poisson(s.arrRNG, s.cfg.RegistrationsPerDay)
-	share := s.fraudShare(day)
-	for i := 0; i < n; i++ {
-		var prof agents.Profile
-		if s.arrRNG.Bool(share) {
-			prof = s.factory.NewFraud()
-		} else {
-			prof = s.factory.NewLegit()
-		}
-		s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
-	}
-	if returning := s.pendingReregs[day]; len(returning) > 0 {
-		delete(s.pendingReregs, day)
-		for _, prof := range returning {
-			s.register(prof, simclock.StampAt(day, s.arrRNG.Float64()))
-		}
-	}
-
-	// Account takeovers of mature legitimate advertisers (§2).
-	s.compromiseAccounts(day)
-
-	// Campaign management, compacting out dead agents in the same pass.
-	// Legitimate advertisers whose business has run its course close
-	// their accounts, keeping the ecosystem roughly stationary.
-	liveOut := s.live[:0]
-	for _, a := range s.live {
-		acct := s.p.MustAccount(a.Account)
-		if !acct.Alive() {
-			continue
-		}
-		if a.LifetimeDays > 0 && !acct.Fraud &&
-			float64(day)-float64(acct.Created) > a.LifetimeDays {
-			if err := s.p.Close(a.Account, simclock.StampAt(day, s.arrRNG.Float64())); err == nil {
-				continue
-			}
-		}
-		s.runtime.Step(a, day)
-		liveOut = append(liveOut, a)
-	}
-	s.live = liveOut
-
-	// Serving: queries, auctions, clicks, billing.
-	s.serveQueries(day)
-
-	// Nightly detection sweep; caught actors may re-register.
-	for _, id := range s.pipeline.EndOfDay(day) {
-		s.maybeReregister(id, day)
-	}
 }
 
 // compromiseAccounts hijacks a Poisson number of mature legitimate
@@ -554,6 +498,7 @@ func (s *Sim) compromiseAccounts(day simclock.Day) {
 			det.Blend = 0.5 // sudden behavior change is itself a signal
 			s.pipeline.Enroll(acct.ID, det, simclock.StampAt(day, s.arrRNG.Float64()))
 			s.res.Compromises++
+			s.fraudLive++
 			break
 		}
 	}

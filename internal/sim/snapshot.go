@@ -56,10 +56,13 @@ type PendingRereg struct {
 	Profiles []agents.Profile
 }
 
-// State is the full serializable state of a Sim at a day boundary.
+// State is the full serializable state of a Sim at a phase boundary
+// (between two StepPhase calls; a day boundary is the common case, where
+// Phase is PhaseArrivals).
 type State struct {
 	Config Config
 	Day    simclock.Day
+	Phase  Phase
 	Seeded bool
 
 	Counters Counters
@@ -81,8 +84,9 @@ type State struct {
 }
 
 // Snapshot captures the simulation's full state. It must be called at a
-// day boundary (between Steps, never mid-Step) and the returned State
-// shares memory with the live sim: encode it before stepping further.
+// phase boundary (between StepPhase calls — day boundaries included,
+// never mid-phase) and the returned State shares memory with the live
+// sim: encode it before stepping further.
 func (s *Sim) Snapshot() *State {
 	cfg := s.cfg
 	cfg.Progress = nil
@@ -90,6 +94,7 @@ func (s *Sim) Snapshot() *State {
 	st := &State{
 		Config: cfg,
 		Day:    s.day,
+		Phase:  s.phase,
 		Seeded: s.seeded,
 		Counters: Counters{
 			Registrations:      s.res.Registrations,
@@ -143,6 +148,9 @@ func Restore(st *State) (*Sim, error) {
 	if st.Day < 0 || st.Day > cfg.Days {
 		return nil, fmt.Errorf("sim: snapshot day %d outside horizon %d", st.Day, cfg.Days)
 	}
+	if st.Phase > PhaseDetection {
+		return nil, fmt.Errorf("sim: snapshot phase %d invalid", st.Phase)
+	}
 	p, err := platform.FromSnapshot(st.Platform)
 	if err != nil {
 		return nil, err
@@ -170,6 +178,9 @@ func Restore(st *State) (*Sim, error) {
 			return nil, fmt.Errorf("sim: snapshot agent %d references unknown account %d", i, as.Account)
 		}
 		s.live[i] = agents.RestoreAgent(as)
+		if acct := p.MustAccount(as.Account); acct.Fraud && acct.Alive() {
+			s.fraudLive++
+		}
 	}
 	for _, e := range st.FraudProfiles {
 		s.fraudProfiles[e.ID] = e.Profile
@@ -190,6 +201,7 @@ func Restore(st *State) (*Sim, error) {
 	s.res.RevenueLost = st.Counters.RevenueLost
 
 	s.day = st.Day
+	s.phase = st.Phase
 	s.seeded = st.Seeded
 	return s, nil
 }

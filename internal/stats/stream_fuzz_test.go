@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+// FuzzSubStreams fuzzes the partitioning contract the parallel serving
+// loop stands on: for any seed and any draw-count vector, (1) replaying
+// each captured substream for its declared draw count reproduces the
+// master stream's values bit for bit, and (2) the master lands on
+// exactly the state sequential consumption would have left it in — so
+// checkpoints and later consumers never see the partitioning. Draw
+// counts are decoded one per input byte (mod 17, so zero-draw consumers
+// stay common — the edge the serving loop hits on empty result pages).
+func FuzzSubStreams(f *testing.F) {
+	f.Add(uint64(1234), []byte{0, 3, 1, 0, 0, 7, 2, 0, 5})
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(7), []byte{0, 0, 0})
+	f.Add(uint64(1<<63), []byte{16, 16, 16, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		draws := make([]int32, len(raw))
+		for i, b := range raw {
+			draws[i] = int32(b % 17)
+		}
+
+		seq := NewRNG(seed)
+		var want []uint64
+		for _, n := range draws {
+			for j := int32(0); j < n; j++ {
+				want = append(want, seq.Uint64())
+			}
+		}
+
+		master := NewRNG(seed)
+		states := SubStreams(master, draws, nil)
+		if len(states) != len(draws) {
+			t.Fatalf("got %d states for %d consumers", len(states), len(draws))
+		}
+		if master.State() != seq.State() {
+			t.Fatal("master end position diverged from sequential consumption")
+		}
+
+		var r RNG
+		k := 0
+		for i, n := range draws {
+			r.SetState(states[i])
+			for j := int32(0); j < n; j++ {
+				if got := r.Uint64(); got != want[k] {
+					t.Fatalf("consumer %d draw %d: substream produced %d, sequential produced %d",
+						i, j, got, want[k])
+				}
+				k++
+			}
+		}
+	})
+}
