@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash verify golden bench bench-serving bench-dayloop fuzz-smoke
+.PHONY: build vet test race chaos crash crash-cluster verify golden bench bench-serving bench-dayloop bench-cluster fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,19 @@ chaos:
 crash:
 	$(GO) test -run 'TestCrash' ./internal/sim ./cmd/fraudsim
 
+# crash-cluster runs the multi-process shard cluster suite under -race:
+# the seeds x shard-counts merged-replay equivalence matrix, supervised
+# kill-point/stall/restart-budget recovery, and a harness that SIGKILLs
+# real worker subprocesses at seeded points — all required to converge
+# to the byte-identical single-process digest (DESIGN.md §9).
+crash-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+
 # verify is the full pre-merge gate: static checks, build, the whole
 # suite (goldens, determinism, invariants, smoke tests, chaos) under the
-# race detector, the crash-safety sweep, and a short
-# corpus-plus-exploration pass over every fuzz target.
-verify: vet build race chaos crash fuzz-smoke
+# race detector, the crash-safety sweeps (single-process and cluster),
+# and a short corpus-plus-exploration pass over every fuzz target.
+verify: vet build race chaos crash crash-cluster fuzz-smoke
 
 # golden regenerates every golden fixture (sim digests, per-experiment
 # report outputs, the façade quickstart). Only the packages that define
@@ -63,6 +71,13 @@ bench-serving:
 bench-dayloop:
 	$(GO) test ./internal/sim -run TestWriteDayloopBenchJSON \
 		-bench-dayloop-out $(CURDIR)/BENCH_dayloop.json -timeout 20m -v
+
+# bench-cluster measures the supervised shard cluster end to end per
+# shard count — end-to-day wall time, plus merger throughput (events/s
+# the merged replay folds) — and records BENCH_cluster.json.
+bench-cluster:
+	$(GO) test ./internal/cluster -run TestWriteClusterBenchJSON \
+		-bench-cluster-out $(CURDIR)/BENCH_cluster.json -timeout 20m -v
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the
 # corpus plus a short exploration burst.

@@ -1,0 +1,195 @@
+// Command fraudcluster runs the simulation as a crash-tolerant
+// multi-process shard cluster (internal/cluster): a coordinator spawns
+// one worker process per shard, supervises them via heartbeats,
+// restarts dead shards from their last checkpoint, and finishes by
+// replaying the merged shard logs into the canonical dataset and
+// proving every digest agrees.
+//
+// Usage:
+//
+//	fraudcluster [-shards N] [-dir DIR] [-scale small|medium|full]
+//	             [-seed N] [-days N] [-queries N] [-regs F]
+//	             [-checkpoint-every N] [-sync none|rotate|interval]
+//	             [-hb-timeout D] [-barrier N] [-max-restarts N] [-v]
+//	             [-faults SHARD=SPEC;...] [-kill SHARD@N,...]
+//
+//	fraudcluster worker <worker flags>   (internal; spawned by the coordinator)
+//
+// The chaos levers: -faults attaches a process fault profile
+// (faultinject.ParseProcFaults syntax, e.g. "0=kill@msg=5..40") to a
+// shard's first incarnation; -kill makes the coordinator SIGKILL a
+// shard after its Nth day report. Either way the run must still finish
+// with the merged digest byte-identical to an undisturbed run — that is
+// the whole point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		sp, err := cluster.ParseWorkerArgs(os.Args[2:])
+		if err == nil {
+			err = cluster.RunWorker(sp, os.Stdin, os.Stdout, os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fraudcluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shards := fs.Int("shards", 4, "shard worker processes")
+	dir := fs.String("dir", "", "cluster working directory (logs + checkpoints; required)")
+	scale := fs.String("scale", "medium", "simulation scale: small, medium, or full")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 0, "override simulated days (0 = scale default)")
+	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
+	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
+	ckptEvery := fs.Int("checkpoint-every", 8, "each worker checkpoints every N simulated days")
+	syncMode := fs.String("sync", "rotate", "event log fsync policy: none, rotate, or interval")
+	hbInterval := fs.Duration("hb-interval", 500*time.Millisecond, "worker heartbeat interval")
+	hbTimeout := fs.Duration("hb-timeout", 5*time.Second, "silence after which a worker is declared dead")
+	barrier := fs.Int("barrier", 1, "days any shard may run ahead of the slowest")
+	maxRestarts := fs.Int("max-restarts", 3, "restarts allowed per shard before the cluster fails")
+	verbose := fs.Bool("v", false, "print supervisor narration")
+	faultSpecs := fs.String("faults", "", "initial fault profiles, SHARD=SPEC[,SHARD=SPEC...] (chaos testing)")
+	killSpecs := fs.String("kill", "", "coordinator kill points, SHARD@NREPORTS[,...] (chaos testing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("fraudcluster: -dir DIR is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	faults, err := parseFaultMap(*faultSpecs)
+	if err != nil {
+		return err
+	}
+	kills, err := parseKillPoints(*killSpecs)
+	if err != nil {
+		return err
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	spec := cluster.WorkerSpec{
+		Shards:          *shards,
+		Dir:             *dir,
+		Scale:           *scale,
+		Seed:            *seed,
+		Days:            *days,
+		Queries:         *queries,
+		Regs:            *regs,
+		CheckpointEvery: *ckptEvery,
+		HBInterval:      *hbInterval,
+		Sync:            *syncMode,
+	}
+	cfg := cluster.Config{
+		Shards:        *shards,
+		Spec:          spec,
+		Spawn:         &cluster.ExecSpawner{Command: exe, BaseArgs: []string{"worker"}, Spec: spec, Stderr: stderr},
+		HBTimeout:     *hbTimeout,
+		BarrierWindow: *barrier,
+		MaxRestarts:   *maxRestarts,
+		Seed:          *seed,
+		Faults:        faults,
+		Kills:         kills,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printResult(stdout, *shards, res)
+	return nil
+}
+
+func printResult(w io.Writer, shards int, res *cluster.Result) {
+	fmt.Fprintf(w, "cluster of %d shards completed in %s\n", shards, res.Elapsed.Round(10*time.Millisecond))
+	for _, st := range res.Stats.PerShard {
+		fmt.Fprintf(w, "  %-24s %9d events (%d segments, %d impressions)\n",
+			st.Dir, st.Events, st.Segments, st.Impressions)
+	}
+	fmt.Fprintf(w, "merged replay: %d events over %d days\n", res.Stats.Events, res.Stats.Days)
+	fmt.Fprintf(w, "restarts per shard: %v\n", res.Restarts)
+	fmt.Fprintf(w, "digest (replicas == merged replay): %s\n", shortDigest(res.Digest))
+}
+
+// shortDigest compresses the JSON fingerprint for terminal output.
+func shortDigest(d string) string {
+	if len(d) <= 96 {
+		return d
+	}
+	return d[:96] + "..."
+}
+
+// parseFaultMap parses "0=kill@msg=5..40;2=stall@day=6:10s" — entries
+// are ';'-separated because a fault spec itself uses commas.
+func parseFaultMap(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[int]string{}
+	for _, part := range strings.Split(s, ";") {
+		shard, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fraudcluster: bad -faults entry %q (want SHARD=SPEC)", part)
+		}
+		k, err := strconv.Atoi(shard)
+		if err != nil {
+			return nil, fmt.Errorf("fraudcluster: bad -faults shard %q: %v", shard, err)
+		}
+		out[k] = spec
+	}
+	return out, nil
+}
+
+// parseKillPoints parses "1@5,0@12".
+func parseKillPoints(s string) ([]cluster.KillPoint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cluster.KillPoint
+	for _, part := range strings.Split(s, ",") {
+		shard, n, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("fraudcluster: bad -kill entry %q (want SHARD@NREPORTS)", part)
+		}
+		k, err := strconv.Atoi(shard)
+		if err != nil {
+			return nil, fmt.Errorf("fraudcluster: bad -kill shard %q: %v", shard, err)
+		}
+		after, err := strconv.Atoi(n)
+		if err != nil || after < 1 {
+			return nil, fmt.Errorf("fraudcluster: bad -kill report count %q", n)
+		}
+		out = append(out, cluster.KillPoint{Shard: k, AfterDayReports: after})
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the fraudcluster binary:
+// the coordinator spawns workers via os.Executable() + "worker" argv,
+// and with the gate variable set (inherited from the parent test
+// process) we dispatch straight into the real CLI entry point — so the
+// end-to-end test exercises the exact argv round trip production uses.
+func TestMain(m *testing.M) {
+	if os.Getenv("FRAUDCLUSTER_CLI") == "1" && len(os.Args) > 1 && os.Args[1] == "worker" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestClusterCLIEndToEnd runs the full CLI twice over real worker
+// subprocesses — once undisturbed, once with the coordinator SIGKILLing
+// a shard mid-run — and requires both to print the same digest.
+func TestClusterCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a worker-subprocess cluster")
+	}
+	t.Setenv("FRAUDCLUSTER_CLI", "1")
+
+	shape := []string{
+		"-shards", "2", "-scale", "small", "-seed", "13",
+		"-days", "10", "-queries", "150", "-regs", "6",
+		"-checkpoint-every", "4", "-sync", "none",
+		"-hb-interval", "100ms",
+	}
+	digestRe := regexp.MustCompile(`digest \(replicas == merged replay\): (.+)`)
+
+	clusterDigest := func(extra ...string) string {
+		t.Helper()
+		var out, errw strings.Builder
+		args := append(append([]string{}, shape...), "-dir", t.TempDir())
+		args = append(args, extra...)
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("run(%v): %v\nstderr: %s", extra, err, errw.String())
+		}
+		m := digestRe.FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("no digest line in output:\n%s", out.String())
+		}
+		return m[1]
+	}
+
+	clean := clusterDigest()
+	killed := clusterDigest("-kill", "1@3", "-max-restarts", "3")
+	if clean != killed {
+		t.Errorf("digest diverges after a coordinator kill:\n clean  %s\n killed %s", clean, killed)
+	}
+}
+
+func TestClusterCLIRequiresDir(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-shards", "2"}, &out, &errw); err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("missing -dir accepted: %v", err)
+	}
+}
+
+func TestParseFaultMap(t *testing.T) {
+	got, err := parseFaultMap("0=kill@msg=5..40;2=stall@day=6:10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "kill@msg=5..40" || got[2] != "stall@day=6:10s" {
+		t.Errorf("parseFaultMap = %v", got)
+	}
+	if m, err := parseFaultMap(""); err != nil || m != nil {
+		t.Errorf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"kill@msg=5", "x=kill@msg=5", "0=a;bad"} {
+		if _, err := parseFaultMap(bad); err == nil {
+			t.Errorf("parseFaultMap(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseKillPoints(t *testing.T) {
+	got, err := parseKillPoints("1@5,0@12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Shard != 1 || got[0].AfterDayReports != 5 ||
+		got[1].Shard != 0 || got[1].AfterDayReports != 12 {
+		t.Errorf("parseKillPoints = %+v", got)
+	}
+	if k, err := parseKillPoints(""); err != nil || k != nil {
+		t.Errorf("empty spec: %v, %v", k, err)
+	}
+	for _, bad := range []string{"1", "x@5", "1@0", "1@z"} {
+		if _, err := parseKillPoints(bad); err == nil {
+			t.Errorf("parseKillPoints(%q) accepted", bad)
+		}
+	}
+}

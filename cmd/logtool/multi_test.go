@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// writeShardLog writes a small single-shard-style log: n impressions
+// plus a day-end marker per day, the shape a cluster worker produces.
+func writeShardLog(t *testing.T, dir string, n int) {
+	t.Helper()
+	dw, err := eventlog.NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		dw.Append(eventlog.Event{
+			Type: eventlog.TypeImpression, Day: int32(i % 5), Account: int32(i),
+			Country: "US", Vertical: 1, Position: 1,
+		})
+	}
+	for d := int32(0); d < 5; d++ {
+		dw.Append(eventlog.Event{Type: eventlog.TypeDayEnd, Day: d})
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatMultiDirPerShardAndMergedTotals: several shard log dirs get a
+// block each plus merged totals, and the merged event count is the sum.
+func TestStatMultiDirPerShardAndMergedTotals(t *testing.T) {
+	base := t.TempDir()
+	d0 := filepath.Join(base, "shard-0")
+	d1 := filepath.Join(base, "shard-1")
+	writeShardLog(t, d0, 20)
+	writeShardLog(t, d1, 10)
+
+	var out, errw strings.Builder
+	if err := run([]string{"stat", d0, d1}, &out, &errw); err != nil {
+		t.Fatalf("stat multi: %v (stderr: %s)", err, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== " + d0,
+		"== " + d1,
+		"== merged (2 paths)",
+		"events    25", // shard 0: 20 impressions + 5 markers
+		"events    15", // shard 1: 10 impressions + 5 markers
+		"events    40", // merged
+		"day-end",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("multi-dir stat output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A single path keeps the old headerless format.
+	out.Reset()
+	if err := run([]string{"stat", d0}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "==") {
+		t.Errorf("single-path stat grew headers:\n%s", out.String())
+	}
+}
+
+// TestVerifyMultiDirRollsUpCorruptionPerDir: with several shard dirs,
+// damage in one is rolled up under that dir and named in the error;
+// clean dirs still report ok.
+func TestVerifyMultiDirRollsUpCorruptionPerDir(t *testing.T) {
+	base := t.TempDir()
+	d0 := filepath.Join(base, "shard-0")
+	d1 := filepath.Join(base, "shard-1")
+	writeShardLog(t, d0, 20)
+	writeShardLog(t, d1, 20)
+
+	var out, errw strings.Builder
+	if err := run([]string{"verify", d0, d1}, &out, &errw); err != nil {
+		t.Fatalf("verify clean shards: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"== " + d0 + ": ok", "== " + d1 + ": ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("per-dir ok rollup missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Corrupt shard 1 only.
+	segs, err := eventlog.Segments(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x20
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = run([]string{"verify", d0, d1}, &out, &errw)
+	if err == nil {
+		t.Fatalf("verify accepted a corrupt shard:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "damaged: "+d1) {
+		t.Errorf("error does not name the damaged dir: %v", err)
+	}
+	if strings.Contains(err.Error(), d0) {
+		t.Errorf("error blames the clean dir: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== "+d1+": 1 of") {
+		t.Errorf("per-dir corruption rollup missing:\n%s", got)
+	}
+	if !strings.Contains(got, "== "+d0+": ok") {
+		t.Errorf("clean dir not reported ok alongside the damage:\n%s", got)
+	}
+}

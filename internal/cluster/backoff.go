@@ -1,0 +1,73 @@
+// Package cluster runs the simulation as a crash-tolerant multi-process
+// shard cluster: a coordinator partitions the day's query stream across
+// N fraudsim-derived shard worker processes (each a full deterministic
+// replica that logs only its own shard, per the DESIGN.md §7 substream
+// contract), supervises them via heartbeats, restarts dead shards from
+// their last checkpoint through the §6 recovery path, and finally
+// replays the merged shard logs into the canonical Collector — proving
+// the merged digest byte-identical to a single-process run (DESIGN.md
+// §9).
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Backoff produces the seeded exponential-backoff-with-jitter schedule
+// the supervisor sleeps between a shard's death and its restart. The
+// sequence is a pure function of (seed, shard), so a chaos run's restart
+// timing is reproducible; jitter keeps simultaneous shard deaths from
+// restarting in lockstep.
+type Backoff struct {
+	// Base is the mean of the first delay; each subsequent delay doubles
+	// the mean, capped at Cap.
+	Base time.Duration
+	// Cap bounds every delay (jitter included).
+	Cap time.Duration
+
+	rng     *stats.RNG
+	attempt int
+}
+
+// NewBackoff builds a schedule seeded by (seed, shard).
+func NewBackoff(seed uint64, shard int, base, cap time.Duration) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{
+		Base: base,
+		Cap:  cap,
+		rng:  stats.NewRNG(seed ^ (uint64(shard)+1)*0x9e3779b97f4a7c15),
+	}
+}
+
+// Next returns the delay before the next restart attempt: the doubling
+// mean for the current attempt, multiplied by a uniform [0.5, 1.5)
+// jitter draw, clamped to Cap. Attempt count advances on every call.
+func (b *Backoff) Next() time.Duration {
+	mean := b.Base << b.attempt
+	if b.attempt >= 62 || mean > b.Cap || mean <= 0 {
+		mean = b.Cap
+	}
+	b.attempt++
+	d := time.Duration(float64(mean) * (0.5 + b.rng.Float64()))
+	if d > b.Cap {
+		d = b.Cap
+	}
+	if d < 0 {
+		d = b.Cap
+	}
+	return d
+}
+
+// Attempts returns how many delays have been handed out.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset rewinds the doubling (after a shard has proven healthy for a
+// while) without reseeding the jitter stream.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,175 @@
+package cluster
+
+// Cluster benchmark harness, `make bench-cluster`: run the supervised
+// in-process cluster end to end per shard count, then time the merged
+// replay alone, and write BENCH_cluster.json at the repo root. Two
+// numbers matter operationally: end-to-day wall time (how long a
+// cluster run takes, supervision and merge included) and merger
+// throughput (events/s the replay folds — the recovery-time bound for
+// re-deriving the canonical Collector from shard logs).
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var benchClusterOut = flag.String("bench-cluster-out", "",
+	"write the cluster benchmark report JSON to this file (see make bench-cluster)")
+
+// ClusterBenchMode is one measured shard count.
+type ClusterBenchMode struct {
+	Shards      int     `json:"shards"`
+	Days        int     `json:"days"`
+	Events      uint64  `json:"events"`
+	RunNs       float64 `json:"run_ns"`     // full supervised run, spawn through merge verification
+	NsPerDay    float64 `json:"ns_per_day"` // RunNs / Days
+	MergeNs     float64 `json:"merge_ns"`   // merged replay alone, over the sealed logs
+	MergeEvPerS float64 `json:"merge_events_per_sec"`
+	Restarts    int     `json:"restarts"`
+}
+
+// ClusterBenchReport is the BENCH_cluster.json schema.
+type ClusterBenchReport struct {
+	Bench      string             `json:"bench"`
+	Config     string             `json:"config"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go_version"`
+	Timestamp  string             `json:"timestamp"`
+	Modes      []ClusterBenchMode `json:"modes"`
+	Note       string             `json:"note"`
+}
+
+// measureCluster runs one supervised cluster to completion and then
+// re-times the merge by itself against the logs the run left behind.
+func measureCluster(tb testing.TB, spec WorkerSpec, shards int) ClusterBenchMode {
+	tb.Helper()
+	spec.Shards = shards
+	ps := &pipeSpawner{spec: spec}
+	cfg := Config{
+		Shards:          shards,
+		Spec:            spec,
+		Spawn:           ps,
+		HBTimeout:       10 * time.Second,
+		ProgressTimeout: 10 * time.Minute,
+		Seed:            spec.Seed,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	restarts := 0
+	for _, n := range res.Restarts {
+		restarts += n
+	}
+
+	simCfg, err := spec.SimConfig()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	start := time.Now()
+	_, stats, err := MergeReplay(ShardLogDirs(spec.Dir, shards), simCfg.Windows, simCfg.SampleWindow)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mergeNs := float64(time.Since(start).Nanoseconds())
+
+	return ClusterBenchMode{
+		Shards:      shards,
+		Days:        spec.Days,
+		Events:      stats.Events,
+		RunNs:       float64(res.Elapsed.Nanoseconds()),
+		NsPerDay:    float64(res.Elapsed.Nanoseconds()) / float64(spec.Days),
+		MergeNs:     mergeNs,
+		MergeEvPerS: float64(stats.Events) / (mergeNs / 1e9),
+		Restarts:    restarts,
+	}
+}
+
+// clusterBenchReport measures each shard count over fresh cluster dirs.
+func clusterBenchReport(tb testing.TB, mkspec func(dir string, shards int) WorkerSpec,
+	cfgName string, shardCounts []int, mkdir func() string) ClusterBenchReport {
+	procs := runtime.GOMAXPROCS(0)
+	var modes []ClusterBenchMode
+	for _, n := range shardCounts {
+		dir := mkdir()
+		modes = append(modes, measureCluster(tb, mkspec(dir, n), n))
+	}
+	note := "every worker replicates the full simulation (compute is replicated, event " +
+		"emission/logging is partitioned), so run wall time does not drop with shards; " +
+		"merge_events_per_sec bounds how fast the canonical Collector re-derives from shard logs"
+	if procs == 1 {
+		note += "; HOST HAS 1 CPU: concurrent workers run time-sliced on one core"
+	}
+	return ClusterBenchReport{
+		Bench:      "cluster",
+		Config:     cfgName,
+		GOMAXPROCS: procs,
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Modes:      modes,
+		Note:       note,
+	}
+}
+
+// TestWriteClusterBenchJSON is driven by `make bench-cluster`: with
+// -bench-cluster-out it measures shard counts {1, 2, 4} over a
+// mid-sized shape and writes the JSON report; without the flag it
+// skips.
+func TestWriteClusterBenchJSON(t *testing.T) {
+	if *benchClusterOut == "" {
+		t.Skip("pass -bench-cluster-out (or run `make bench-cluster`)")
+	}
+	mkspec := func(dir string, shards int) WorkerSpec {
+		return WorkerSpec{
+			Shards: shards, Dir: dir, Scale: "small", Seed: 17,
+			Days: 30, Queries: 4000, Regs: 12, Legit: 200,
+			CheckpointEvery: 8, HBInterval: 500 * time.Millisecond, Sync: "none",
+		}
+	}
+	rep := clusterBenchReport(t, mkspec, "small/30d/4kq", []int{1, 2, 4}, t.TempDir)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchClusterOut, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", *benchClusterOut, b)
+}
+
+// TestClusterBenchReportSmoke keeps the harness under test on every
+// `go test` run: a tiny cluster flows through measurement and
+// serialization, and the numbers are sane.
+func TestClusterBenchReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs small cluster simulations")
+	}
+	mkspec := func(dir string, shards int) WorkerSpec { return testSpec(dir, shards, 3) }
+	rep := clusterBenchReport(t, mkspec, "smoke", []int{1, 2}, t.TempDir)
+	if len(rep.Modes) != 2 || rep.Modes[0].Shards != 1 || rep.Modes[1].Shards != 2 {
+		t.Fatalf("unexpected modes: %+v", rep.Modes)
+	}
+	for _, m := range rep.Modes {
+		if m.RunNs <= 0 || m.MergeNs <= 0 || m.Events == 0 || m.MergeEvPerS <= 0 {
+			t.Fatalf("degenerate measurement: %+v", m)
+		}
+		if m.Restarts != 0 {
+			t.Fatalf("bench cluster restarted workers: %+v", m)
+		}
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterBenchReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "cluster" || back.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("report round trip: %+v", back)
+	}
+}

@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeProc runs RunWorker on a goroutine behind io.Pipe pairs — the real
+// protocol and the real recovery path, no subprocesses. Kill severs both
+// pipes, which is how a pipe-connected process death looks from either
+// side; the worker goroutine then errors out of its next protocol step.
+type pipeProc struct {
+	ctrlR, outR *io.PipeReader
+	ctrlW, outW *io.PipeWriter
+	pid         int
+
+	killOnce sync.Once
+	done     chan error
+}
+
+var errKilled = errors.New("killed")
+
+func (p *pipeProc) Control() io.Writer { return p.ctrlW }
+func (p *pipeProc) Output() io.Reader  { return p.outR }
+func (p *pipeProc) PID() int           { return p.pid }
+func (p *pipeProc) Wait() error        { return <-p.done }
+func (p *pipeProc) Kill() {
+	p.killOnce.Do(func() {
+		p.ctrlR.CloseWithError(errKilled)
+		p.outR.CloseWithError(errKilled)
+	})
+}
+
+// pipeSpawner is the in-process Spawner. Fault profiles flow through to
+// RunWorker exactly as they would over a real command line — except
+// kill@msg profiles, which SIGKILL the test binary itself and so only
+// belong in the subprocess harness.
+type pipeSpawner struct {
+	spec WorkerSpec
+
+	mu     sync.Mutex
+	spawns []string // "shard:faults" in spawn order, for assertions
+	n      int
+}
+
+func (ps *pipeSpawner) Spawn(shard int, faults string) (Proc, error) {
+	ps.mu.Lock()
+	ps.n++
+	pid := ps.n
+	ps.spawns = append(ps.spawns, strconv.Itoa(shard)+":"+faults)
+	ps.mu.Unlock()
+
+	sp := ps.spec
+	sp.Shard = shard
+	sp.Faults = faults
+	if faults != "" {
+		sp.FaultSeed = sp.Seed + uint64(shard) + 1
+	}
+	ctrlR, ctrlW := io.Pipe()
+	outR, outW := io.Pipe()
+	p := &pipeProc{ctrlR: ctrlR, ctrlW: ctrlW, outR: outR, outW: outW, pid: pid, done: make(chan error, 1)}
+	go func() {
+		err := RunWorker(sp, ctrlR, outW, io.Discard)
+		outW.Close()
+		p.done <- err
+	}()
+	return p, nil
+}
+
+func (ps *pipeSpawner) spawnLog() []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return append([]string(nil), ps.spawns...)
+}
+
+// clusterConfig is the fast supervision shape shared by these tests.
+func clusterConfig(dir string, shards int, seed uint64, ps *pipeSpawner, t *testing.T) Config {
+	spec := testSpec(dir, shards, seed)
+	ps.spec = spec
+	return Config{
+		Shards:          shards,
+		Spec:            spec,
+		Spawn:           ps,
+		HBTimeout:       400 * time.Millisecond,
+		MaxRestarts:     3,
+		BackoffBase:     10 * time.Millisecond,
+		BackoffCap:      50 * time.Millisecond,
+		Seed:            seed,
+		ProgressTimeout: 30 * time.Second,
+		Logf:            t.Logf,
+	}
+}
+
+// TestClusterRunClean: no faults, three shards — the coordinator drives
+// the barrier to the horizon and the merged digest matches the
+// single-process run with zero restarts.
+func TestClusterRunClean(t *testing.T) {
+	dir := t.TempDir()
+	ps := &pipeSpawner{}
+	cfg := clusterConfig(dir, 3, 5, ps, t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceDigest(t, cfg.Spec); res.Digest != want {
+		t.Errorf("cluster digest diverges from single-process run")
+	}
+	for k, n := range res.Restarts {
+		if n != 0 {
+			t.Errorf("shard %d restarted %d times in a clean run", k, n)
+		}
+	}
+	if res.Stats.Days != int32(cfg.Spec.Days) {
+		t.Errorf("merge saw %d days, want %d", res.Stats.Days, cfg.Spec.Days)
+	}
+}
+
+// TestClusterKillPointRecovery: the coordinator SIGKILLs (pipe-severs)
+// two shards mid-run at day-report counts; both restart from their
+// checkpoints and the merged digest still matches the undisturbed run.
+func TestClusterKillPointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ps := &pipeSpawner{}
+	cfg := clusterConfig(dir, 3, 6, ps, t)
+	cfg.Kills = []KillPoint{
+		{Shard: 1, AfterDayReports: 3}, // before its first checkpoint: fresh restart
+		{Shard: 0, AfterDayReports: 6}, // after a checkpoint: resumed restart
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceDigest(t, cfg.Spec); res.Digest != want {
+		t.Errorf("cluster digest diverges from single-process run after kills")
+	}
+	if res.Restarts[0] != 1 || res.Restarts[1] != 1 || res.Restarts[2] != 0 {
+		t.Errorf("restarts = %v, want [1 1 0]", res.Restarts)
+	}
+	// Restarts must come up without the original fault profile.
+	for _, s := range ps.spawnLog()[3:] {
+		if !strings.HasSuffix(s, ":") {
+			t.Errorf("respawn carried a fault profile: %q", s)
+		}
+	}
+}
+
+// TestClusterStalledShardRestarted: a worker wedges (fault-injected
+// stall, heartbeats muted) long enough to blow the heartbeat timeout;
+// the supervisor declares it dead, kills and restarts it, and the run
+// still converges to the reference digest.
+func TestClusterStalledShardRestarted(t *testing.T) {
+	dir := t.TempDir()
+	ps := &pipeSpawner{}
+	cfg := clusterConfig(dir, 2, 9, ps, t)
+	cfg.Faults = map[int]string{1: "stall@day=5:2s"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceDigest(t, cfg.Spec); res.Digest != want {
+		t.Errorf("cluster digest diverges from single-process run after a stall")
+	}
+	if res.Restarts[1] < 1 {
+		t.Errorf("stalled shard was never restarted (restarts %v)", res.Restarts)
+	}
+}
+
+// deadProc is a scripted Proc that emits a canned output stream and
+// exits — for supervisor paths no healthy worker can produce.
+type deadProc struct {
+	out  io.Reader
+	done chan error
+}
+
+func newDeadProc(output string, exitErr error) *deadProc {
+	d := &deadProc{out: strings.NewReader(output), done: make(chan error, 1)}
+	d.done <- exitErr
+	return d
+}
+
+func (d *deadProc) Control() io.Writer { return io.Discard }
+func (d *deadProc) Output() io.Reader  { return d.out }
+func (d *deadProc) Kill()              {}
+func (d *deadProc) Wait() error        { return <-d.done }
+func (d *deadProc) PID() int           { return -1 }
+
+type scriptSpawner struct {
+	mu     sync.Mutex
+	spawns int
+	next   func(shard int, spawn int) Proc
+}
+
+func (s *scriptSpawner) Spawn(shard int, faults string) (Proc, error) {
+	s.mu.Lock()
+	s.spawns++
+	n := s.spawns
+	s.mu.Unlock()
+	return s.next(shard, n), nil
+}
+
+// TestClusterMaxRestartsExceeded: a shard that dies instantly on every
+// incarnation exhausts its restart budget and fails the whole cluster
+// with a diagnosable error.
+func TestClusterMaxRestartsExceeded(t *testing.T) {
+	ss := &scriptSpawner{next: func(shard, spawn int) Proc {
+		return newDeadProc("", errors.New("exit status 137"))
+	}}
+	cfg := Config{
+		Shards:      1,
+		Spec:        testSpec(t.TempDir(), 1, 3),
+		Spawn:       ss,
+		MaxRestarts: 2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "died") {
+		t.Fatalf("want a died-too-often error, got %v", err)
+	}
+	if ss.spawns != cfg.MaxRestarts+1 {
+		t.Errorf("spawned %d times, want %d (initial + MaxRestarts)", ss.spawns, cfg.MaxRestarts+1)
+	}
+}
+
+// TestClusterReplicaDigestMismatch: if worker replicas disagree on the
+// trajectory digest, Run refuses — loudly — instead of merging.
+func TestClusterReplicaDigestMismatch(t *testing.T) {
+	ss := &scriptSpawner{next: func(shard, spawn int) Proc {
+		return newDeadProc(
+			`{"t":"hello","shard":`+strconv.Itoa(shard)+`}`+"\n"+
+				`{"t":"done","shard":`+strconv.Itoa(shard)+`,"digest":"digest-`+strconv.Itoa(shard)+`"}`+"\n",
+			nil)
+	}}
+	cfg := Config{
+		Shards: 2,
+		Spec:   testSpec(t.TempDir(), 2, 3),
+		Spawn:  ss,
+		Logf:   t.Logf,
+	}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("want a digest-divergence error, got %v", err)
+	}
+}
+
+// TestClusterWorkerFatalFailsFast: a deterministic worker error (fatal
+// message) fails the cluster without burning the restart budget.
+func TestClusterWorkerFatalFailsFast(t *testing.T) {
+	ss := &scriptSpawner{next: func(shard, spawn int) Proc {
+		return newDeadProc(`{"t":"fatal","shard":0,"err":"checkpoint is from a different run"}`+"\n", nil)
+	}}
+	cfg := Config{
+		Shards:      1,
+		Spec:        testSpec(t.TempDir(), 1, 3),
+		Spawn:       ss,
+		MaxRestarts: 5,
+		Logf:        t.Logf,
+	}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "fatal") {
+		t.Fatalf("want a fatal error, got %v", err)
+	}
+	if ss.spawns != 1 {
+		t.Errorf("fatal worker was respawned %d times; deterministic errors must not retry", ss.spawns-1)
+	}
+}

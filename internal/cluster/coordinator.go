@@ -1,0 +1,443 @@
+package cluster
+
+// The coordinator: spawns one worker process per shard, drives the
+// shared day barrier with cumulative grants, supervises liveness via
+// heartbeats, restarts dead shards (seeded backoff, bounded retries),
+// and finishes by replaying the merged shard logs into the canonical
+// Collector and checking every digest agrees.
+//
+// Everything is one event loop over a single channel: worker messages,
+// worker exits, respawn timers, and supervision ticks all arrive as
+// events, so the supervisor state machine needs no locking and its
+// decisions have a total order — which keeps chaos-run postmortems
+// readable.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Proc is one spawned worker process as the coordinator sees it:
+// a control pipe in, a report pipe out, and a kill switch. The real
+// implementation is ExecSpawner's os/exec wrapper; tests substitute
+// scripted fakes.
+type Proc interface {
+	Control() io.Writer // worker stdin
+	Output() io.Reader  // worker stdout
+	Kill()              // SIGKILL; must be safe to call more than once
+	Wait() error        // reap; call after Output has been drained
+	PID() int
+}
+
+// Spawner creates worker processes. faults is the process fault profile
+// for this spawn ("" = none); the coordinator passes a profile only on
+// a shard's FIRST spawn, so an injected crash does not re-arm after the
+// restart it was meant to exercise.
+type Spawner interface {
+	Spawn(shard int, faults string) (Proc, error)
+}
+
+// KillPoint instructs the coordinator to SIGKILL a shard after it has
+// observed that shard's Nth day report (counting replayed days), the
+// chaos harness's coordinator-side kill lever: unlike a worker-side
+// fault profile it can target the post-restart incarnation too.
+type KillPoint struct {
+	Shard           int
+	AfterDayReports int
+}
+
+// Config parameterizes a cluster run.
+type Config struct {
+	Shards int
+	// Spec is the worker template; Shard is filled per spawn and Shards
+	// is forced to Config.Shards.
+	Spec  WorkerSpec
+	Spawn Spawner
+
+	// HBTimeout is how long a worker may stay silent before the
+	// supervisor declares it dead (default 5s).
+	HBTimeout time.Duration
+	// BarrierWindow is how many days ahead of the slowest shard any
+	// shard may run (default 1). Larger windows hide restart latency;
+	// window 1 is fully lock-step.
+	BarrierWindow int
+	// MaxRestarts bounds restarts per shard (default 3); exceeding it
+	// fails the whole cluster.
+	MaxRestarts int
+	// BackoffBase/BackoffCap shape the seeded restart backoff
+	// (defaults 100ms / 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed seeds restart-backoff jitter (per shard substreams).
+	Seed uint64
+
+	// Faults maps shard → process fault profile for the initial spawn.
+	Faults map[int]string
+	// Kills are coordinator-side SIGKILL points.
+	Kills []KillPoint
+
+	// ProgressTimeout fails the run if the cluster's day barrier makes
+	// no progress for this long (default 2m) — the wedge detector of
+	// last resort.
+	ProgressTimeout time.Duration
+	// SendTimeout bounds every control write (default 2s); a worker
+	// that stops draining stdin is treated as dead.
+	SendTimeout time.Duration
+
+	// Logf, when non-nil, receives supervisor narration.
+	Logf func(format string, args ...any)
+}
+
+// Result is a completed cluster run.
+type Result struct {
+	// Digest is the agreed collector fingerprint: every worker replica
+	// and the merged log replay produced it.
+	Digest string
+	// Collector is the merged-replay collector (the canonical dataset).
+	Collector *dataset.Collector
+	// Stats describes what the merge consumed.
+	Stats *MergeStats
+	// Restarts counts restarts per shard.
+	Restarts []int
+	// Elapsed is wall time from first spawn through merge verification.
+	Elapsed time.Duration
+}
+
+type evKind uint8
+
+const (
+	evMsg evKind = iota
+	evExit
+	evRespawn
+	evTick
+)
+
+type event struct {
+	kind  evKind
+	shard int
+	gen   int
+	msg   Msg
+	err   error
+}
+
+type shardState struct {
+	gen        int
+	proc       Proc
+	mon        *hbMonitor
+	back       *Backoff
+	completed  int // highest day reported done; -1 before any
+	sentUntil  int
+	restarts   int
+	dayReports int
+	done       bool
+	exited     bool
+	digest     string
+	events     uint64
+	respawning bool
+	kills      []int // pending kill points (day-report counts), ascending
+}
+
+// Run executes a full cluster run: spawn, supervise, finish, merge,
+// verify. It returns only when every shard has completed and the merged
+// replay's digest matches every replica's, or with the first
+// unrecoverable error (all workers killed on the way out).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("cluster: need at least one shard")
+	}
+	if cfg.Spawn == nil {
+		return nil, errors.New("cluster: no spawner")
+	}
+	if cfg.HBTimeout <= 0 {
+		cfg.HBTimeout = 5 * time.Second
+	}
+	if cfg.BarrierWindow < 1 {
+		cfg.BarrierWindow = 1
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 2 * time.Second
+	}
+	if cfg.ProgressTimeout <= 0 {
+		cfg.ProgressTimeout = 2 * time.Minute
+	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = 2 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cfg.Spec.Shards = cfg.Shards
+	simCfg, err := cfg.Spec.SimConfig()
+	if err != nil {
+		return nil, err
+	}
+	horizon := int(simCfg.Days) - 1
+
+	start := time.Now()
+	events := make(chan event, 4096)
+	quit := make(chan struct{})
+	defer close(quit)
+	emit := func(e event) {
+		select {
+		case events <- e:
+		case <-quit:
+		}
+	}
+
+	shards := make([]*shardState, cfg.Shards)
+	for k := range shards {
+		shards[k] = &shardState{
+			completed: -1,
+			sentUntil: -2,
+			mon:       newHBMonitor(cfg.HBTimeout),
+			back:      NewBackoff(cfg.Seed, k, cfg.BackoffBase, cfg.BackoffCap),
+		}
+		for _, kp := range cfg.Kills {
+			if kp.Shard == k {
+				shards[k].kills = append(shards[k].kills, kp.AfterDayReports)
+			}
+		}
+	}
+
+	spawn := func(k int, faults string) error {
+		st := shards[k]
+		st.gen++
+		st.respawning = false
+		st.sentUntil = -2
+		p, err := cfg.Spawn.Spawn(k, faults)
+		if err != nil {
+			return fmt.Errorf("cluster: spawn shard %d: %w", k, err)
+		}
+		st.proc = p
+		gen := st.gen
+		go func() {
+			rerr := readMsgs(p.Output(), func(m Msg) {
+				emit(event{kind: evMsg, shard: k, gen: gen, msg: m})
+			})
+			if !errors.Is(rerr, io.EOF) {
+				logf("cluster: shard %d output: %v", k, rerr)
+			}
+			emit(event{kind: evExit, shard: k, gen: gen, err: p.Wait()})
+		}()
+		logf("cluster: shard %d spawned (gen %d, pid %d, faults %q)", k, gen, p.PID(), faults)
+		return nil
+	}
+	killAll := func() {
+		for _, st := range shards {
+			if st.proc != nil {
+				st.proc.Kill()
+			}
+		}
+	}
+
+	// barrier recomputes the grant horizon and pushes it to every live
+	// worker that hasn't seen it yet.
+	barrier := func() int {
+		min := shards[0].completed
+		for _, st := range shards[1:] {
+			if st.completed < min {
+				min = st.completed
+			}
+		}
+		until := min + cfg.BarrierWindow
+		if until > horizon {
+			until = horizon
+		}
+		return until
+	}
+	grant := func() {
+		until := barrier()
+		for k, st := range shards {
+			if st.proc == nil || st.done || st.sentUntil >= until {
+				continue
+			}
+			mw := newMsgWriter(st.proc.Control())
+			if err := sendWithDeadline(mw, Msg{T: MsgGo, Shard: k, Until: until}, cfg.SendTimeout); err != nil {
+				logf("cluster: shard %d grant failed (%v); killing", k, err)
+				st.proc.Kill()
+				continue
+			}
+			st.sentUntil = until
+		}
+	}
+
+	for k := range shards {
+		if err := spawn(k, cfg.Faults[k]); err != nil {
+			killAll()
+			return nil, err
+		}
+	}
+
+	tickEvery := cfg.HBTimeout / 4
+	if tickEvery < 10*time.Millisecond {
+		tickEvery = 10 * time.Millisecond
+	}
+	if tickEvery > time.Second {
+		tickEvery = time.Second
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				emit(event{kind: evTick})
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	lastProgress := time.Now()
+	lastBarrier := -1
+
+	fail := func(err error) (*Result, error) {
+		killAll()
+		return nil, err
+	}
+
+	for {
+		allDone := true
+		for _, st := range shards {
+			if !st.done || !st.exited {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		e := <-events
+		st := shards[e.shard]
+		switch e.kind {
+		case evTick:
+			now := time.Now()
+			for k, s2 := range shards {
+				if s2.proc != nil && s2.mon.Expired(now) {
+					logf("cluster: shard %d silent for %s; killing", k, s2.mon.Silence(now))
+					s2.mon.Disarm()
+					s2.proc.Kill()
+				}
+			}
+			if b := barrier(); b > lastBarrier {
+				lastBarrier = b
+				lastProgress = now
+			} else if now.Sub(lastProgress) > cfg.ProgressTimeout {
+				return fail(fmt.Errorf("cluster: no progress for %s (barrier stuck at day %d)",
+					cfg.ProgressTimeout, lastBarrier))
+			}
+
+		case evExit:
+			if e.gen != st.gen {
+				continue // an incarnation we already replaced
+			}
+			st.proc = nil
+			st.mon.Disarm()
+			if st.done {
+				st.exited = true
+				continue
+			}
+			st.restarts++
+			if st.restarts > cfg.MaxRestarts {
+				return fail(fmt.Errorf("cluster: shard %d died %d times (last exit: %v); giving up",
+					e.shard, st.restarts, e.err))
+			}
+			delay := st.back.Next()
+			st.respawning = true
+			logf("cluster: shard %d died (exit: %v); restart %d/%d in %s",
+				e.shard, e.err, st.restarts, cfg.MaxRestarts, delay)
+			k := e.shard
+			time.AfterFunc(delay, func() { emit(event{kind: evRespawn, shard: k}) })
+
+		case evRespawn:
+			if !st.respawning {
+				continue
+			}
+			// Restarts never re-arm fault profiles: the injected crash
+			// already happened; the restart must be clean.
+			if err := spawn(e.shard, ""); err != nil {
+				return fail(err)
+			}
+
+		case evMsg:
+			if e.gen != st.gen {
+				continue
+			}
+			st.mon.Observe(time.Now())
+			switch e.msg.T {
+			case MsgHello:
+				logf("cluster: shard %d hello (pid %d, starting day %d)", e.shard, e.msg.PID, e.msg.Day)
+				grant()
+			case MsgHB:
+				// Observe above is the whole job.
+			case MsgDay:
+				if e.msg.Day > st.completed {
+					st.completed = e.msg.Day
+				}
+				st.events = e.msg.Events
+				st.dayReports++
+				if len(st.kills) > 0 && st.dayReports >= st.kills[0] {
+					st.kills = st.kills[1:]
+					if st.proc != nil {
+						logf("cluster: kill point: SIGKILL shard %d after %d day reports", e.shard, st.dayReports)
+						st.mon.Disarm()
+						st.proc.Kill()
+						continue
+					}
+				}
+				grant()
+			case MsgDone:
+				st.done = true
+				st.digest = e.msg.Digest
+				st.events = e.msg.Events
+				st.mon.Disarm()
+				logf("cluster: shard %d done (%d events)", e.shard, e.msg.Events)
+				grant() // completion may move the barrier for the rest
+			case MsgFatal:
+				return fail(fmt.Errorf("cluster: shard %d fatal: %s", e.shard, e.msg.Err))
+			}
+		}
+	}
+
+	// Every replica must have computed the same trajectory.
+	digest := shards[0].digest
+	for k, st := range shards[1:] {
+		if st.digest != digest {
+			return nil, fmt.Errorf("cluster: replica digests diverge: shard 0 vs shard %d", k+1)
+		}
+	}
+
+	col, stats, err := MergeReplay(ShardLogDirs(cfg.Spec.Dir, cfg.Shards), simCfg.Windows, simCfg.SampleWindow)
+	if err != nil {
+		return nil, err
+	}
+	if merged := Fingerprint(col); merged != digest {
+		return nil, fmt.Errorf("cluster: merged-replay digest does not match the workers' live digest\n  live:   %s\n  merged: %s",
+			digest, merged)
+	}
+
+	restarts := make([]int, cfg.Shards)
+	for k, st := range shards {
+		restarts[k] = st.restarts
+	}
+	logf("cluster: complete: %d shards, %d merged events, restarts %v", cfg.Shards, stats.Events, restarts)
+	return &Result{
+		Digest:    digest,
+		Collector: col,
+		Stats:     stats,
+		Restarts:  restarts,
+		Elapsed:   time.Since(start),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestClusterWorkerChild is the re-exec target for the subprocess crash
+// harness: when the gate variable is set, this "test" is actually a
+// shard worker speaking the control protocol on stdin/stdout. It exits
+// the process directly so the test framework's PASS banner never lands
+// in the protocol stream.
+func TestClusterWorkerChild(t *testing.T) {
+	if os.Getenv("CLUSTER_WORKER_CHILD") != "1" {
+		t.Skip("re-exec target; runs only as a spawned worker subprocess")
+	}
+	sp, err := ParseWorkerArgsEnv("CLUSTER_WORKER_ARGS")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	if err := RunWorker(sp, os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestClusterCrashRecoverySubprocess is the real thing: worker shards
+// as genuine OS processes, two of them carrying seeded kill-at-Nth-
+// control-message fault profiles that SIGKILL the live process
+// mid-protocol. The supervisor must notice each death, restart the
+// shard through the checkpoint recovery path, and still converge the
+// merged replay to the single-process digest.
+//
+// Kill points land in message ranges that are guaranteed to fire
+// before the done handshake (hello + 12 day reports precede it), so a
+// restart is certain, not probabilistic.
+func TestClusterCrashRecoverySubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness: skipped in -short mode")
+	}
+	dir := t.TempDir()
+	const shards = 3
+	spec := testSpec(dir, shards, 11)
+	want := referenceDigest(t, spec)
+
+	es := &ExecSpawner{
+		Command:    os.Args[0],
+		BaseArgs:   []string{"-test.run=TestClusterWorkerChild$"},
+		Spec:       spec,
+		ArgsViaEnv: "CLUSTER_WORKER_ARGS",
+		ExtraEnv:   []string{"CLUSTER_WORKER_CHILD=1"},
+		Stderr:     io.Discard,
+	}
+	cfg := Config{
+		Shards: shards,
+		Spec:   spec,
+		Spawn:  es,
+		// Subprocess startup (re-exec + sim init) is slower than the
+		// in-process doubles; give heartbeats headroom.
+		HBTimeout:   5 * time.Second,
+		MaxRestarts: 4,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  100 * time.Millisecond,
+		Seed:        11,
+		Faults: map[int]string{
+			0: "kill@msg=4..12", // shard 0 dies somewhere mid-run
+			1: "kill@msg=3..9",  // shard 1 dies earlier, likely pre-checkpoint
+		},
+		ProgressTimeout: 2 * time.Minute,
+		Logf:            t.Logf,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want {
+		t.Errorf("cluster digest diverges from single-process run after SIGKILLs")
+	}
+	if res.Restarts[0] < 1 || res.Restarts[1] < 1 {
+		t.Errorf("faulted shards were never killed/restarted (restarts %v)", res.Restarts)
+	}
+	if res.Restarts[2] != 0 {
+		t.Errorf("unfaulted shard restarted %d times", res.Restarts[2])
+	}
+	if res.Stats.Days != int32(spec.Days) {
+		t.Errorf("merge saw %d days, want %d", res.Stats.Days, spec.Days)
+	}
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/simclock"
+	"repro/internal/testutil"
+)
+
+// Cluster directory layout: everything a shard owns lives under the
+// cluster dir, keyed by shard index, so an operator can inspect, repair
+// or archive one shard without touching the others.
+
+// ShardLogDir returns shard k's event-log directory under the cluster
+// working dir.
+func ShardLogDir(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", k))
+}
+
+// ShardCheckpoint returns shard k's checkpoint file path.
+func ShardCheckpoint(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.frsnap", k))
+}
+
+// ShardLogDirs returns every shard's log dir in shard order.
+func ShardLogDirs(dir string, shards int) []string {
+	out := make([]string, shards)
+	for k := range out {
+		out[k] = ShardLogDir(dir, k)
+	}
+	return out
+}
+
+// DirStats summarizes one shard log's contribution to a merge.
+type DirStats struct {
+	Dir         string `json:"dir"`
+	Segments    int    `json:"segments"`
+	Events      uint64 `json:"events"`
+	Impressions uint64 `json:"impressions"`
+	// Markers counts day-barrier records (included in Events).
+	Markers uint64 `json:"markers"`
+	MinDay  int32  `json:"minDay"`
+	MaxDay  int32  `json:"maxDay"`
+}
+
+// MergeStats reports what a merged replay consumed.
+type MergeStats struct {
+	PerShard []DirStats `json:"perShard"`
+	Events   uint64     `json:"events"`
+	Days     int32      `json:"days"`
+}
+
+// MergeReplay replays a cluster's shard logs into one canonical
+// Collector, reconstructing the single-process engine's fold order:
+//
+//   - dirs[0] is shard 0's log and carries the control events
+//     (registrations, campaign actions, detections) interleaved with
+//     shard 0's impressions, in emission order;
+//   - dirs[k>0] carry only shard k's impressions, day-ordered.
+//
+// The streams are interleaved at the TypeDayEnd barrier markers the
+// workers write, shards in index order: round d drains each shard up to
+// its day-d marker. Markers — not event Day fields — define the
+// barrier, because control records can be stamped ahead of their
+// emission day (scheduled arrivals), so shard 0's stream is not
+// Day-monotone. Because the §7 contract makes shard blocks contiguous
+// in query order, "day by day, shards in order" is exactly the
+// sequential engine's global impression order, and dataset.Replayer's
+// folds commute across the remaining (cross-account, cross-type)
+// reorderings — so the merged Collector is digest-identical to the live
+// single-process one (pinned by TestMergeReplayMatchesSingleProcess).
+//
+// Corruption in any shard surfaces as an error naming that shard's
+// segment; a shard emitting control events it does not own is a
+// protocol violation and is rejected rather than silently folded.
+func MergeReplay(dirs []string, windows []simclock.NamedWindow, sample simclock.Window) (*dataset.Collector, *MergeStats, error) {
+	type cursor struct {
+		rd  *eventlog.DirReader
+		ev  eventlog.Event
+		ok  bool // ev holds a peeked, unconsumed event
+		eof bool
+	}
+	cur := make([]*cursor, len(dirs))
+	stats := &MergeStats{PerShard: make([]DirStats, len(dirs))}
+	defer func() {
+		for _, c := range cur {
+			if c != nil && c.rd != nil {
+				c.rd.Close()
+			}
+		}
+	}()
+
+	for k, dir := range dirs {
+		rd, err := eventlog.OpenDir(dir, eventlog.Filter{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		cur[k] = &cursor{rd: rd}
+		stats.PerShard[k] = DirStats{Dir: dir, Segments: rd.Segments()}
+	}
+
+	rep := dataset.NewReplayer(dataset.NewCollector(windows, sample))
+	advance := func(k int) error {
+		c := cur[k]
+		switch err := c.rd.Next(&c.ev); err {
+		case nil:
+			c.ok = true
+		case io.EOF:
+			c.eof, c.ok = true, false
+		default:
+			return fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		return nil
+	}
+	fold := func(k int) error {
+		c := cur[k]
+		if k > 0 && c.ev.Type != eventlog.TypeImpression {
+			return fmt.Errorf("cluster: shard %d log contains a %s event; only shard 0 carries control events",
+				k, c.ev.Type)
+		}
+		st := &stats.PerShard[k]
+		if st.Events == 0 || c.ev.Day < st.MinDay {
+			st.MinDay = c.ev.Day
+		}
+		if st.Events == 0 || c.ev.Day > st.MaxDay {
+			st.MaxDay = c.ev.Day
+		}
+		st.Events++
+		if c.ev.Type == eventlog.TypeImpression {
+			st.Impressions++
+		}
+		stats.Events++
+		rep.Append(c.ev)
+		c.ok = false
+		return nil
+	}
+
+	for k := range cur {
+		if err := advance(k); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Marker-driven barrier merge: round d folds each shard's stream up
+	// to (and consuming) its day-d barrier marker. Shard 0's pre-study
+	// seed population (negative days) precedes its day-0 marker and so
+	// lands in the first round, in emission order. A stream that ends
+	// without a marker contributes whatever it has left — by the time a
+	// cluster run merges, every worker sealed its log through the
+	// horizon, so that only happens for the final round's EOF.
+	for day := int32(0); ; day++ {
+		before := stats.Events
+		live := false
+		for k := range cur {
+			c := cur[k]
+			for c.ok {
+				if c.ev.Type == eventlog.TypeDayEnd {
+					st := &stats.PerShard[k]
+					st.Events++
+					st.Markers++
+					stats.Events++
+					hitBarrier := c.ev.Day >= day
+					if err := advance(k); err != nil {
+						return nil, nil, err
+					}
+					if hitBarrier {
+						break
+					}
+					continue
+				}
+				if err := fold(k); err != nil {
+					return nil, nil, err
+				}
+				if err := advance(k); err != nil {
+					return nil, nil, err
+				}
+			}
+			if !c.eof {
+				live = true
+			}
+		}
+		if !live {
+			// The final round usually consumes the last day's events and
+			// then runs straight into EOF, so a round can both make
+			// progress and extinguish the streams: it still counts.
+			stats.Days = day
+			if stats.Events > before {
+				stats.Days = day + 1
+			}
+			break
+		}
+	}
+	return rep.Collector(), stats, nil
+}
+
+// Fingerprint canonically encodes a collector's dataset digests as one
+// comparable string — the unit of cluster equivalence. Workers send it
+// in their done message; the coordinator requires every replica and the
+// merged replay to agree on it.
+func Fingerprint(col *dataset.Collector) string {
+	b, err := json.Marshal(testutil.CollectorDigests(col))
+	if err != nil { // a struct of strings and ints cannot fail to marshal
+		panic(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/sim"
+)
+
+// testSpec is the fast cluster shape the package tests share: small
+// scale, a dozen days, enough volume that every shard sees impressions.
+func testSpec(dir string, shards int, seed uint64) WorkerSpec {
+	return WorkerSpec{
+		Shards:          shards,
+		Dir:             dir,
+		Scale:           "small",
+		Seed:            seed,
+		Days:            12,
+		Queries:         200,
+		Regs:            8,
+		Legit:           100,
+		CheckpointEvery: 4,
+		HBInterval:      50 * time.Millisecond,
+		Sync:            "none",
+	}
+}
+
+// referenceDigest runs the same shape single-process and fingerprints
+// its collector — the ground truth every cluster path must reproduce.
+func referenceDigest(t *testing.T, sp WorkerSpec) string {
+	t.Helper()
+	cfg, err := sp.SimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(cfg)
+	for s.Step() {
+	}
+	s.Finish()
+	return Fingerprint(s.Collector())
+}
+
+// runWorkerToDone drives one worker over in-process pipes, granting the
+// whole horizon up front, and returns its done message.
+func runWorkerToDone(t *testing.T, sp WorkerSpec) Msg {
+	t.Helper()
+	ctrlR, ctrlW := io.Pipe()
+	outR, outW := io.Pipe()
+	defer ctrlW.Close()
+
+	doneMsg := make(chan Msg, 1)
+	go func() {
+		var last Msg
+		readMsgs(outR, func(m Msg) {
+			if m.T == MsgDone {
+				last = m
+			}
+		})
+		doneMsg <- last
+	}()
+	workerErr := make(chan error, 1)
+	go func() {
+		err := RunWorker(sp, ctrlR, outW, io.Discard)
+		outW.Close()
+		workerErr <- err
+	}()
+
+	if err := newMsgWriter(ctrlW).send(Msg{T: MsgGo, Shard: sp.Shard, Until: sp.Days - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatalf("worker %d: %v", sp.Shard, err)
+	}
+	m := <-doneMsg
+	if m.T != MsgDone {
+		t.Fatalf("worker %d exited without a done message", sp.Shard)
+	}
+	return m
+}
+
+// TestMergeReplayMatchesSingleProcess is the headline equivalence
+// matrix: for each (seed, shard count), run every shard worker to
+// completion, merge-replay their logs, and require the merged digest —
+// and every replica's live digest — byte-identical to the
+// single-process run.
+func TestMergeReplayMatchesSingleProcess(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		for _, shards := range []int{1, 2, 3, 5} {
+			t.Run(fmt.Sprintf("seed%d/shards%d", seed, shards), func(t *testing.T) {
+				dir := t.TempDir()
+				spec := testSpec(dir, shards, seed)
+				want := referenceDigest(t, spec)
+
+				var total uint64
+				for k := 0; k < shards; k++ {
+					sp := spec
+					sp.Shard = k
+					m := runWorkerToDone(t, sp)
+					if m.Digest != want {
+						t.Errorf("shard %d live digest diverges from single-process run", k)
+					}
+					total += m.Events
+				}
+
+				cfg, _ := spec.SimConfig()
+				col, stats, err := MergeReplay(ShardLogDirs(dir, shards), cfg.Windows, cfg.SampleWindow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := Fingerprint(col); got != want {
+					t.Errorf("merged-replay digest diverges from single-process run\n got %s\nwant %s", got, want)
+				}
+				if stats.Events != total {
+					t.Errorf("merge consumed %d events, workers logged %d", stats.Events, total)
+				}
+				if stats.Days != int32(spec.Days) {
+					t.Errorf("merge saw %d days, want %d", stats.Days, spec.Days)
+				}
+				for k, st := range stats.PerShard {
+					if st.Events == 0 {
+						t.Errorf("shard %d contributed no events", k)
+					}
+					if st.Markers != uint64(spec.Days) {
+						t.Errorf("shard %d: %d day markers, want %d", k, st.Markers, spec.Days)
+					}
+					if k > 0 && st.Impressions+st.Markers != st.Events {
+						t.Errorf("shard %d: %d events are neither impressions nor markers (want none)",
+							k, st.Events-st.Impressions-st.Markers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMergeReplayRejectsForeignControlEvents pins the protocol check: a
+// control event in a shard k>0 log is a violation, not silent data.
+func TestMergeReplayRejectsForeignControlEvents(t *testing.T) {
+	dir := t.TempDir()
+	for k := 0; k < 2; k++ {
+		dw, err := eventlog.NewDirWriter(ShardLogDir(dir, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw.Append(eventlog.Event{Type: eventlog.TypeAccountCreated, Day: 0, Account: int32(k)})
+		if err := dw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg, _ := testSpec(dir, 2, 1).SimConfig()
+	_, _, err := MergeReplay(ShardLogDirs(dir, 2), cfg.Windows, cfg.SampleWindow)
+	if err == nil {
+		t.Fatal("merge accepted a control event in a shard 1 log")
+	}
+}
+
+// TestDirReaderRoundTrip pins the merger's streaming primitive: events
+// written across several rotations come back in order with exact
+// counts, and an empty dir is a valid, immediately-EOF stream.
+func TestDirReaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dw, err := eventlog.NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 257
+	for i := 0; i < n; i++ {
+		dw.Append(eventlog.Event{Type: eventlog.TypeImpression, Day: int32(i / 10), Account: int32(i)})
+		if i%100 == 99 {
+			if err := dw.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := eventlog.OpenDir(dir, eventlog.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if rd.Segments() < 3 {
+		t.Fatalf("expected >= 3 segments, got %d", rd.Segments())
+	}
+	var ev eventlog.Event
+	for i := 0; ; i++ {
+		err := rd.Next(&ev)
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("read %d events, wrote %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Account != int32(i) {
+			t.Fatalf("event %d out of order: account %d", i, ev.Account)
+		}
+	}
+	if rd.Events() != n {
+		t.Fatalf("reader counted %d events, want %d", rd.Events(), n)
+	}
+
+	empty, err := eventlog.OpenDir(t.TempDir(), eventlog.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	if err := empty.Next(&ev); err != io.EOF {
+		t.Fatalf("empty dir: want io.EOF, got %v", err)
+	}
+}

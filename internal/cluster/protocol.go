@@ -1,0 +1,133 @@
+package cluster
+
+// The coordinator↔worker control protocol: JSON lines over the worker's
+// standard pipes. Workers report on stdout, the coordinator commands on
+// stdin; stderr stays free for human-readable logs. Pipes rather than
+// sockets keep the failure model honest — a SIGKILLed worker's pipe
+// closes exactly when the process dies, there is no half-open TCP state
+// to age out — and make every control path testable with io.Pipe.
+//
+//	worker → coordinator
+//	  hello  first message after spawn: shard, pid, next day to run
+//	  hb     periodic heartbeat: shard, current day
+//	  day    day report: shard completed simulated day Day
+//	  done   run complete: collector digest + event count, log closed
+//	  fatal  unrecoverable worker error (deterministic; not retried)
+//
+//	coordinator → worker
+//	  go     grant: the worker may simulate every day <= Until
+//	  stop   orderly shutdown request
+//
+// Grants are cumulative and idempotent: a restarted worker replays days
+// it already reported, the coordinator keeps per-shard progress as a
+// monotone maximum, and re-reports of old days are ignored.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Message type tags.
+const (
+	MsgHello = "hello"
+	MsgHB    = "hb"
+	MsgDay   = "day"
+	MsgDone  = "done"
+	MsgFatal = "fatal"
+	MsgGo    = "go"
+	MsgStop  = "stop"
+)
+
+// Msg is one control-protocol message; unused fields are elided on the
+// wire.
+type Msg struct {
+	T      string `json:"t"`
+	Shard  int    `json:"shard"`
+	Day    int    `json:"day,omitempty"`
+	Until  int    `json:"until,omitempty"`
+	PID    int    `json:"pid,omitempty"`
+	Events uint64 `json:"events,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// msgWriter serializes messages onto one stream from several goroutines
+// (the worker's day loop and its heartbeat ticker share stdout). The
+// optional beforeSend hook sees every outbound message — the fault
+// injector's kill-at-Nth-control-message profile lives there.
+type msgWriter struct {
+	mu         sync.Mutex
+	w          io.Writer
+	enc        *json.Encoder
+	beforeSend func(Msg)
+}
+
+func newMsgWriter(w io.Writer) *msgWriter {
+	return &msgWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+// send writes one message as a JSON line. Encode errors are returned so
+// a worker notices its coordinator is gone (EPIPE) and exits instead of
+// simulating into the void.
+func (mw *msgWriter) send(m Msg) error {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if mw.beforeSend != nil {
+		mw.beforeSend(m)
+	}
+	return mw.enc.Encode(m)
+}
+
+// readMsgs decodes messages from r until EOF or a decode error, passing
+// each to fn; it always returns the terminal error (io.EOF for a clean
+// close). Oversized or malformed lines are an error, not a panic: the
+// coordinator treats a babbling worker like a dead one.
+func readMsgs(r io.Reader, fn func(Msg)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("cluster: bad control line %q: %w", truncLine(line), err)
+		}
+		fn(m)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+func truncLine(b []byte) string {
+	if len(b) > 120 {
+		b = b[:120]
+	}
+	return string(b)
+}
+
+// sendWithDeadline writes one message, giving up after d. Pipe writes
+// almost never block — the kernel buffers far more than one JSON line —
+// so a timeout here means the worker has stopped draining its stdin
+// entirely, and the caller treats it as dead. The write goroutine is
+// left to finish (or fail with EPIPE once the pipe closes); it holds no
+// locks.
+func sendWithDeadline(mw *msgWriter, m Msg, d time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- mw.send(m) }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-t.C:
+		return fmt.Errorf("cluster: control send to shard %d timed out after %s", m.Shard, d)
+	}
+}

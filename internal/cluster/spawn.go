@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// ExecSpawner launches real worker subprocesses with os/exec — the
+// production Spawner. Two transport modes for the worker arguments:
+// argv (the fraudcluster binary's `worker` subcommand) or an
+// environment variable carrying the JSON-encoded flag list, which lets
+// a test binary re-exec itself as a worker without fighting the
+// `go test` flag parser.
+type ExecSpawner struct {
+	// Command is the executable to run (e.g. os.Args[0] or the
+	// fraudcluster binary path).
+	Command string
+	// BaseArgs precede the worker flags in argv mode, or make up the
+	// whole argv in env mode (e.g. ["-test.run=TestClusterWorkerChild"]).
+	BaseArgs []string
+	// Spec is the worker template; Spawn fills Shard and the fault
+	// fields per call.
+	Spec WorkerSpec
+	// ArgsViaEnv, when non-empty, names the environment variable that
+	// carries the JSON-encoded worker flag list instead of argv.
+	ArgsViaEnv string
+	// ExtraEnv is appended to the child environment (env mode markers
+	// like the test-child gate variable).
+	ExtraEnv []string
+	// Stderr receives worker stderr (defaults to os.Stderr).
+	Stderr io.Writer
+}
+
+func (es *ExecSpawner) Spawn(shard int, faults string) (Proc, error) {
+	sp := es.Spec
+	sp.Shard = shard
+	sp.Faults = faults
+	if faults != "" && sp.FaultSeed == 0 {
+		sp.FaultSeed = sp.Seed + uint64(shard) + 1
+	}
+
+	cmd := exec.Command(es.Command, es.BaseArgs...)
+	env := os.Environ()
+	if es.ArgsViaEnv != "" {
+		enc, err := json.Marshal(sp.Args())
+		if err != nil {
+			return nil, err
+		}
+		env = append(env, fmt.Sprintf("%s=%s", es.ArgsViaEnv, enc))
+	} else {
+		cmd.Args = append(cmd.Args, sp.Args()...)
+	}
+	cmd.Env = append(env, es.ExtraEnv...)
+	cmd.Stderr = es.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	return &execProc{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// ParseWorkerArgsEnv decodes a JSON-encoded flag list from the named
+// environment variable (ExecSpawner's env transport) into a WorkerSpec.
+func ParseWorkerArgsEnv(envVar string) (WorkerSpec, error) {
+	raw := os.Getenv(envVar)
+	if raw == "" {
+		return WorkerSpec{}, fmt.Errorf("cluster: %s is empty", envVar)
+	}
+	var args []string
+	if err := json.Unmarshal([]byte(raw), &args); err != nil {
+		return WorkerSpec{}, fmt.Errorf("cluster: %s: %w", envVar, err)
+	}
+	return ParseWorkerArgs(args)
+}
+
+type execProc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.Reader
+
+	killOnce sync.Once
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func (p *execProc) Control() io.Writer { return p.stdin }
+func (p *execProc) Output() io.Reader  { return p.stdout }
+func (p *execProc) PID() int           { return p.cmd.Process.Pid }
+
+// Kill delivers SIGKILL — the crash model under test is abrupt death,
+// not graceful shutdown.
+func (p *execProc) Kill() {
+	p.killOnce.Do(func() { p.cmd.Process.Kill() })
+}
+
+// Wait reaps the child. Callers drain Output first (Wait closes the
+// stdout pipe). Idempotent so supervisor and shutdown paths can race.
+func (p *execProc) Wait() error {
+	p.waitOnce.Do(func() {
+		p.waitErr = p.cmd.Wait()
+		p.stdin.Close()
+	})
+	return p.waitErr
+}

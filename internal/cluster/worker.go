@@ -1,0 +1,423 @@
+package cluster
+
+// The shard worker: one fraudsim-derived process owning one shard of the
+// cluster. Every worker runs the full deterministic simulation (same
+// seed, same shape — replicas of one trajectory), with the in-process
+// worker pool pinned to the cluster's shard count so the §7 contract
+// partitions the query stream identically in every process; worker k
+// then logs ONLY shard k's serving events (plus, on shard 0, the control
+// stream) into its private log dir. Compute is replicated; the event
+// stream, its fsync load, and its storage are partitioned — and any
+// single process can die without taking the cluster's output with it.
+//
+// Crash tolerance is worker-local: each worker checkpoints its own sim
+// state against its own log (the §6 rotate-then-snapshot discipline). A
+// restarted worker finds its checkpoint, heals the torn log tail
+// (RecoverDir), rewinds to the checkpoint segment, and re-runs the tail
+// days — rewriting byte-identical segments, since the trajectory is
+// deterministic. A worker that dies before its first checkpoint starts
+// fresh, wiping its log dir first.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+// WorkerSpec is the flag-shaped description of one shard worker; the
+// coordinator serializes it across the process boundary with Args and
+// the worker entry point rebuilds it with ParseWorkerArgs, so both sides
+// of the protocol agree on the run shape by construction.
+type WorkerSpec struct {
+	Shard  int
+	Shards int
+	// Dir is the cluster working directory; the worker owns
+	// ShardLogDir(Dir, Shard) and ShardCheckpoint(Dir, Shard).
+	Dir string
+
+	// Run shape (identical across every worker of a cluster).
+	Scale   string
+	Seed    uint64
+	Days    int     // 0 = scale default
+	Queries int     // 0 = scale default
+	Regs    float64 // 0 = scale default
+	Legit   int     // 0 = scale default
+
+	CheckpointEvery int
+	HBInterval      time.Duration
+	Sync            string // event log fsync policy: none, rotate, interval
+
+	// Faults is a faultinject.ParseProcFaults spec ("" = none) seeded by
+	// FaultSeed — chaos harness hooks, never set in normal operation.
+	Faults    string
+	FaultSeed uint64
+}
+
+// SimConfig resolves the spec into the simulation configuration every
+// worker runs: the scale preset, the overrides, and the worker pool
+// pinned to the cluster shard count (the partition itself).
+func (sp WorkerSpec) SimConfig() (sim.Config, error) {
+	var cfg sim.Config
+	switch sp.Scale {
+	case "small":
+		cfg = sim.SmallConfig()
+	case "medium", "":
+		cfg = sim.MediumConfig()
+	case "full":
+		cfg = sim.DefaultConfig()
+	default:
+		return cfg, fmt.Errorf("cluster: unknown scale %q (want small, medium, or full)", sp.Scale)
+	}
+	cfg.Seed = sp.Seed
+	if sp.Days > 0 {
+		cfg.Days = simclock.Day(sp.Days)
+	}
+	if sp.Queries > 0 {
+		cfg.QueriesPerDay = sp.Queries
+	}
+	if sp.Regs > 0 {
+		cfg.RegistrationsPerDay = sp.Regs
+	}
+	if sp.Legit > 0 {
+		cfg.InitialLegit = sp.Legit
+	}
+	cfg.Workers = sp.Shards
+	return cfg, nil
+}
+
+// Args renders the spec as the canonical worker flag list (the inverse
+// of ParseWorkerArgs).
+func (sp WorkerSpec) Args() []string {
+	args := []string{
+		"-shard", fmt.Sprint(sp.Shard),
+		"-shards", fmt.Sprint(sp.Shards),
+		"-dir", sp.Dir,
+		"-scale", sp.Scale,
+		"-seed", fmt.Sprint(sp.Seed),
+		"-days", fmt.Sprint(sp.Days),
+		"-queries", fmt.Sprint(sp.Queries),
+		"-regs", fmt.Sprint(sp.Regs),
+		"-legit", fmt.Sprint(sp.Legit),
+		"-checkpoint-every", fmt.Sprint(sp.CheckpointEvery),
+		"-hb-interval", sp.HBInterval.String(),
+		"-sync", sp.Sync,
+	}
+	if sp.Faults != "" {
+		args = append(args, "-faults", sp.Faults, "-fault-seed", fmt.Sprint(sp.FaultSeed))
+	}
+	return args
+}
+
+// ParseWorkerArgs parses a worker flag list back into a spec.
+func ParseWorkerArgs(args []string) (WorkerSpec, error) {
+	sp := WorkerSpec{}
+	fs := flag.NewFlagSet("cluster-worker", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.IntVar(&sp.Shard, "shard", 0, "this worker's shard index")
+	fs.IntVar(&sp.Shards, "shards", 1, "total shard count")
+	fs.StringVar(&sp.Dir, "dir", "", "cluster working directory")
+	fs.StringVar(&sp.Scale, "scale", "medium", "simulation scale")
+	fs.Uint64Var(&sp.Seed, "seed", 42, "simulation seed")
+	fs.IntVar(&sp.Days, "days", 0, "override simulated days")
+	fs.IntVar(&sp.Queries, "queries", 0, "override queries per day")
+	fs.Float64Var(&sp.Regs, "regs", 0, "override registrations per day")
+	fs.IntVar(&sp.Legit, "legit", 0, "override initial legitimate advertisers")
+	fs.IntVar(&sp.CheckpointEvery, "checkpoint-every", 8, "checkpoint every N simulated days")
+	fs.DurationVar(&sp.HBInterval, "hb-interval", 500*time.Millisecond, "heartbeat interval")
+	fs.StringVar(&sp.Sync, "sync", "rotate", "event log fsync policy")
+	fs.StringVar(&sp.Faults, "faults", "", "process fault profile (chaos testing)")
+	fs.Uint64Var(&sp.FaultSeed, "fault-seed", 0, "fault profile seed")
+	if err := fs.Parse(args); err != nil {
+		return sp, fmt.Errorf("cluster: worker flags: %w", err)
+	}
+	if len(fs.Args()) > 0 {
+		return sp, fmt.Errorf("cluster: stray worker arguments %q", fs.Args())
+	}
+	if sp.Dir == "" {
+		return sp, errors.New("cluster: worker needs -dir")
+	}
+	if sp.Shards < 1 || sp.Shard < 0 || sp.Shard >= sp.Shards {
+		return sp, fmt.Errorf("cluster: shard %d of %d out of range", sp.Shard, sp.Shards)
+	}
+	return sp, nil
+}
+
+// errStopped marks an orderly coordinator-requested shutdown.
+var errStopped = errors.New("cluster: stop requested")
+
+// RunWorker is the worker process body: resume-or-fresh startup, the
+// grant-gated day loop with checkpoints and day reports, heartbeats on
+// the side, and the final digest handshake. ctrl is the coordinator's
+// command stream (stdin), out the report stream (stdout), logw a human
+// log (stderr).
+func RunWorker(sp WorkerSpec, ctrl io.Reader, out, logw io.Writer) error {
+	cfg, err := sp.SimConfig()
+	if err != nil {
+		return err
+	}
+	policy, err := syncPolicy(sp.Sync)
+	if err != nil {
+		return err
+	}
+	var inj *faultinject.ProcInjector
+	if sp.Faults != "" {
+		pf, err := faultinject.ParseProcFaults(sp.Faults)
+		if err != nil {
+			return err
+		}
+		inj = faultinject.New(sp.FaultSeed).Proc(fmt.Sprintf("shard-%d", sp.Shard), pf)
+	}
+
+	mw := newMsgWriter(out)
+	if inj != nil {
+		mw.beforeSend = func(Msg) {
+			if inj.ControlMessage() {
+				killSelf()
+			}
+		}
+	}
+
+	s, dw, logBase, err := openShardSim(sp, cfg, policy, logw)
+	if err != nil {
+		mw.send(Msg{T: MsgFatal, Shard: sp.Shard, Err: err.Error()})
+		return err
+	}
+
+	// Heartbeats ride a side goroutine; curDay mirrors the loop's
+	// progress for them. A stalled fault silences them too — the whole
+	// process is wedged, as far as the coordinator can tell.
+	var curDay atomic.Int64
+	curDay.Store(int64(s.Day()))
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(sp.HBInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if inj != nil && (inj.Stalled() || inj.DropHeartbeat()) {
+					continue
+				}
+				mw.send(Msg{T: MsgHB, Shard: sp.Shard, Day: int(curDay.Load())})
+			}
+		}
+	}()
+
+	// Grants arrive on a channel fed by the control reader; readErr
+	// resolves when the coordinator goes away (EOF/EPIPE), which is the
+	// worker's signal to die rather than simulate into the void.
+	grants := make(chan Msg, 256)
+	readErr := make(chan error, 1)
+	go func() { readErr <- readMsgs(ctrl, func(m Msg) { grants <- m }) }()
+
+	err = runWorkerLoop(sp, cfg, s, dw, logBase, mw, inj, grants, readErr, &curDay)
+	if errors.Is(err, errStopped) {
+		dw.Close()
+		return nil
+	}
+	if err != nil {
+		dw.Close() // seal what we can; the next incarnation's recovery does the rest
+		mw.send(Msg{T: MsgFatal, Shard: sp.Shard, Err: err.Error()})
+		return err
+	}
+	if inj != nil {
+		time.Sleep(inj.ExitDelay())
+	}
+	return nil
+}
+
+// openShardSim is the resume-or-fresh startup path: with a checkpoint
+// present, heal the log, rewind to the checkpoint segment and restore
+// (the §6 recovery path); otherwise wipe the shard's log dir and start
+// a fresh replica.
+func openShardSim(sp WorkerSpec, cfg sim.Config, policy eventlog.SyncPolicy, logw io.Writer) (*sim.Sim, *eventlog.DirWriter, uint64, error) {
+	logDir := ShardLogDir(sp.Dir, sp.Shard)
+	ckpt := ShardCheckpoint(sp.Dir, sp.Shard)
+
+	var (
+		s       *sim.Sim
+		dw      *eventlog.DirWriter
+		logBase uint64
+	)
+	if _, statErr := os.Stat(ckpt); statErr == nil {
+		c, err := sim.ReadCheckpoint(ckpt)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
+		}
+		if c.State.Config.Seed != cfg.Seed || c.State.Config.Days != cfg.Days {
+			return nil, nil, 0, fmt.Errorf("shard %d: checkpoint is from a different run (seed %d days %d, want seed %d days %d)",
+				sp.Shard, c.State.Config.Seed, c.State.Config.Days, cfg.Seed, cfg.Days)
+		}
+		if rep, err := eventlog.RecoverDir(logDir, true); err != nil {
+			return nil, nil, 0, fmt.Errorf("shard %d: recover log: %w", sp.Shard, err)
+		} else if !rep.Healthy {
+			fmt.Fprintf(logw, "shard %d: %s\n", sp.Shard, rep.String())
+		}
+		if err := eventlog.TruncateToSegment(logDir, c.Log.NextSegment); err != nil {
+			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
+		}
+		if dw, err = eventlog.NewDirWriterAt(logDir, c.Log.NextSegment); err != nil {
+			return nil, nil, 0, err
+		}
+		logBase = c.Log.Events
+		if s, err = sim.Restore(c.State); err != nil {
+			dw.Close()
+			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
+		}
+		fmt.Fprintf(logw, "shard %d: resumed from checkpoint at day %d (segment %d)\n",
+			sp.Shard, s.Day(), c.Log.NextSegment)
+	} else {
+		// No checkpoint: any log content is an unrecoverable partial run.
+		if err := os.RemoveAll(logDir); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := os.MkdirAll(logDir, 0o755); err != nil {
+			return nil, nil, 0, err
+		}
+		var err error
+		if dw, err = eventlog.NewDirWriter(logDir); err != nil {
+			return nil, nil, 0, err
+		}
+		s = sim.New(cfg)
+	}
+	dw.Sync = policy
+
+	// Event routing per DESIGN.md §9: shard 0 owns the control stream;
+	// every worker owns exactly its own shard's impression stream. Nil
+	// entries discard the shards other replicas own.
+	sinks := make([]eventlog.Sink, sp.Shards)
+	sinks[sp.Shard] = dw
+	if sp.Shard == 0 {
+		s.SetEvents(dw)
+	}
+	s.SetShardEventSinks(sinks)
+	s.SetWorkers(sp.Shards)
+	return s, dw, logBase, nil
+}
+
+// runWorkerLoop drives the grant-gated day loop to the horizon and
+// performs the done handshake.
+func runWorkerLoop(sp WorkerSpec, cfg sim.Config, s *sim.Sim, dw *eventlog.DirWriter,
+	logBase uint64, mw *msgWriter, inj *faultinject.ProcInjector,
+	grants <-chan Msg, readErr <-chan error, curDay *atomic.Int64) error {
+
+	startDay := int(s.Day())
+	if err := mw.send(Msg{T: MsgHello, Shard: sp.Shard, Day: startDay, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("shard %d: hello: %w", sp.Shard, err)
+	}
+
+	until := startDay - 1
+	apply := func(m Msg) error {
+		switch m.T {
+		case MsgGo:
+			if m.Until > until {
+				until = m.Until
+			}
+			return nil
+		case MsgStop:
+			return errStopped
+		default:
+			return nil // unknown commands are ignored: older coordinators stay compatible
+		}
+	}
+
+	for {
+		d := int(s.Day())
+		if d >= int(cfg.Days) {
+			break
+		}
+		// Block until the day is granted; drain anything already queued.
+		for until < d {
+			select {
+			case m := <-grants:
+				if err := apply(m); err != nil {
+					return err
+				}
+			case err := <-readErr:
+				return fmt.Errorf("shard %d: coordinator gone: %v", sp.Shard, err)
+			}
+		}
+		for {
+			select {
+			case m := <-grants:
+				if err := apply(m); err != nil {
+					return err
+				}
+				continue
+			default:
+			}
+			break
+		}
+
+		if sp.CheckpointEvery > 0 && d > startDay && d%sp.CheckpointEvery == 0 {
+			if err := dw.Rotate(); err != nil {
+				return fmt.Errorf("shard %d: rotate: %w", sp.Shard, err)
+			}
+			pos := sim.LogPosition{NextSegment: dw.NextSegment(), Events: logBase + dw.Events()}
+			if err := s.WriteCheckpointFile(ShardCheckpoint(sp.Dir, sp.Shard), pos); err != nil {
+				return fmt.Errorf("shard %d: checkpoint: %w", sp.Shard, err)
+			}
+		}
+
+		s.Step()
+		// Day-barrier marker: the merger interleaves shard streams on
+		// these, not on event Day fields (control records may be stamped
+		// ahead of their emission day — scheduled arrivals).
+		dw.Append(eventlog.Event{Type: eventlog.TypeDayEnd, Day: int32(d)})
+		curDay.Store(int64(s.Day()))
+		if inj != nil {
+			inj.DayEnd(d)
+		}
+		if err := mw.send(Msg{T: MsgDay, Shard: sp.Shard, Day: d, Events: logBase + dw.Events()}); err != nil {
+			return fmt.Errorf("shard %d: day report: %w", sp.Shard, err)
+		}
+	}
+
+	s.Finish()
+	if err := dw.Close(); err != nil {
+		return fmt.Errorf("shard %d: close log: %w", sp.Shard, err)
+	}
+	if err := mw.send(Msg{
+		T: MsgDone, Shard: sp.Shard, Day: int(s.Day()),
+		Events: logBase + dw.Events(), Digest: Fingerprint(s.Collector()),
+	}); err != nil {
+		return fmt.Errorf("shard %d: done report: %w", sp.Shard, err)
+	}
+	return nil
+}
+
+// killSelf delivers SIGKILL to the current process — the fault
+// injector's kill-at-control-message profile, made real. It never
+// returns.
+func killSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	select {} // unreachable on any platform where Kill is immediate
+}
+
+func syncPolicy(mode string) (eventlog.SyncPolicy, error) {
+	switch mode {
+	case "none":
+		return eventlog.SyncNone, nil
+	case "rotate", "":
+		return eventlog.SyncRotate, nil
+	case "interval":
+		return eventlog.SyncInterval, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown sync policy %q (want none, rotate, or interval)", mode)
+	}
+}

@@ -1,0 +1,86 @@
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DirReader streams a segmented log directory event by event, crossing
+// segment boundaries transparently. Unlike ScanDir's callback form it is
+// a pull reader, so several directories can be merged side by side — the
+// cluster merger walks one DirReader per shard log and interleaves them
+// at day barriers (internal/cluster).
+type DirReader struct {
+	paths  []string
+	filter Filter
+	idx    int
+	f      *os.File
+	rd     *Reader
+	events uint64
+}
+
+// OpenDir opens a log directory for streaming. A directory with no
+// segments is valid and yields io.EOF immediately (a shard that never
+// served a query writes nothing).
+func OpenDir(dir string, filter Filter) (*DirReader, error) {
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, err
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("eventlog: %s is not a log directory", dir)
+	}
+	paths, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DirReader{paths: paths, filter: filter}, nil
+}
+
+// Next decodes the next matching event into ev. It returns io.EOF after
+// the last segment's last frame, and the decoding error — wrapped with
+// the segment path — on damage.
+func (d *DirReader) Next(ev *Event) error {
+	for {
+		if d.rd == nil {
+			if d.idx >= len(d.paths) {
+				return io.EOF
+			}
+			f, err := os.Open(d.paths[d.idx])
+			if err != nil {
+				return err
+			}
+			d.f, d.rd = f, NewReader(f, d.filter)
+		}
+		switch err := d.rd.Next(ev); err {
+		case nil:
+			d.events++
+			return nil
+		case io.EOF:
+			path := d.paths[d.idx]
+			d.rd = nil
+			d.idx++
+			if cerr := d.f.Close(); cerr != nil {
+				return fmt.Errorf("%s: %w", path, cerr)
+			}
+		default:
+			return fmt.Errorf("%s: %w", d.paths[d.idx], err)
+		}
+	}
+}
+
+// Events returns how many events Next has yielded so far.
+func (d *DirReader) Events() uint64 { return d.events }
+
+// Segments returns how many segment files the directory had at open.
+func (d *DirReader) Segments() int { return len(d.paths) }
+
+// Close releases the currently open segment, if any. Safe to call at any
+// point, including after io.EOF (a no-op then).
+func (d *DirReader) Close() error {
+	if d.rd == nil {
+		return nil
+	}
+	d.rd = nil
+	d.idx = len(d.paths)
+	return d.f.Close()
+}

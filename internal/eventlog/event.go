@@ -60,6 +60,14 @@ const (
 	// (rejection or shutdown) with sub-day stamp At, pipeline Stage and
 	// free-text Reason.
 	TypeDetection
+	// TypeDayEnd is a day-barrier marker: every event of the marker's Day
+	// has been written when it appears. Cluster shard workers
+	// (internal/cluster) append one at each day barrier so per-shard logs
+	// can be merged back into exact sequential order without trusting the
+	// Day field of control records, which may be stamped ahead of their
+	// emission day (scheduled arrivals). Header-only; carries no dataset
+	// record and replays as a no-op.
+	TypeDayEnd
 
 	numTypes
 )
@@ -74,6 +82,7 @@ var typeNames = [numTypes]string{
 	TypeBidModified:    "bid-modified",
 	TypeImpression:     "impression",
 	TypeDetection:      "detection",
+	TypeDayEnd:         "day-end",
 }
 
 // String returns the kebab-case name of the type.

@@ -309,7 +309,6 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 
 	epoch := s.p.Index().Epoch()
 	nWin := s.col.ActiveWindowCount(day)
-	stage := s.events != nil || s.shardSinks != nil
 
 	// Phase B: eligibility + auctions against the frozen index.
 	var wg sync.WaitGroup
@@ -328,11 +327,14 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 	e.states = stats.SubStreams(s.clickRNG, e.draws, e.states[:0])
 
 	// Phase D: click rolls and outcome staging from private substreams.
+	// Staging is per shard: a worker whose events would flush into a nil
+	// sink (a cluster replica that owns a different shard) skips the
+	// event buffer entirely — the rolls and folds are unaffected.
 	for k := 0; k < e.workers; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			s.shardClicks(day, k, n, stage)
+			s.shardClicks(day, k, n, s.shardSinkFor(k) != nil)
 		}(k)
 	}
 	wg.Wait()
@@ -355,16 +357,23 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 			}
 			s.col.ApplyClick(day, *row)
 		}
-		if s.shardSinks != nil {
+		if sink := s.shardSinkFor(k); sink != nil {
 			for i := range sh.events {
-				s.shardSinks[k].Append(sh.events[i])
-			}
-		} else if s.events != nil {
-			for i := range sh.events {
-				s.events.Append(sh.events[i])
+				sink.Append(sh.events[i])
 			}
 		}
 	}
+}
+
+// shardSinkFor returns the sink worker k's serving events flush into at
+// the day barrier: its per-shard sink when sharded routing is active
+// (possibly nil — a cluster replica discarding shards it does not own),
+// the main sink otherwise.
+func (s *Sim) shardSinkFor(k int) eventlog.Sink {
+	if s.shardSinks != nil {
+		return s.shardSinks[k]
+	}
+	return s.events
 }
 
 // shardAuctions is phase B for one worker: resolve every query in the

@@ -309,6 +309,12 @@ func (s *Sim) resolveWorkers() int {
 // the shard logs — merged per day, shards in order — reconstruct the
 // sequential engine's single log record for record. len(sinks) must
 // equal the effective worker count; nil restores single-sink routing.
+//
+// Individual entries may be nil: that shard's impressions are then
+// discarded instead of logged. A cluster replica (internal/cluster)
+// exploits this — every worker process computes the full trajectory but
+// keeps a sink only at its own shard index, so the replicas together
+// write each event exactly once.
 func (s *Sim) SetShardEventSinks(sinks []eventlog.Sink) {
 	s.shardSinks = sinks
 }
