@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash crash-cluster verify golden bench bench-serving bench-dayloop bench-cluster fuzz-smoke
+.PHONY: build vet test race chaos crash crash-cluster verify golden bench bench-serving bench-dayloop bench-cluster bench-router fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 # shutdown, backoff client convergence), plus the parallel day loop
 # against failing/crashing event sinks (no deadlock, no digest drift).
 chaos:
-	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject ./internal/sim
+	$(GO) test -race -run 'Chaos' ./internal/adserver ./internal/faultinject ./internal/router ./internal/sim
 
 # crash runs the crash-safety suite: seeded kill-point sweeps proving
 # recover + resume lands on the exact trajectory of an uninterrupted run
@@ -51,7 +51,7 @@ verify: vet build race chaos crash crash-cluster fuzz-smoke
 # the -update-golden flag are targeted; see internal/testutil/README.md
 # for when regeneration is legitimate.
 golden:
-	$(GO) test . ./internal/sim ./internal/report ./internal/adserver ./cmd/experiments -run 'Golden' -update-golden
+	$(GO) test . ./internal/sim ./internal/report ./internal/adserver ./cmd/adbench ./cmd/experiments -run 'Golden' -update-golden
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -78,6 +78,16 @@ bench-dayloop:
 bench-cluster:
 	$(GO) test ./internal/cluster -run TestWriteClusterBenchJSON \
 		-bench-cluster-out $(CURDIR)/BENCH_cluster.json -timeout 20m -v
+
+# bench-router measures the routed adserver cluster under the
+# synthetic traffic harness: round-robin vs least-loaded on a scenario
+# with one slow member (p99 collapses when routing reads the in-flight
+# gauge) and round-robin vs keyword-affinity on a tight-capacity
+# cache-locality scenario (shed rate collapses when each keyword is
+# cached once cluster-wide). Appends the record to BENCH_cluster.json.
+bench-router:
+	$(GO) test ./internal/loadgen -run TestWriteRouterBenchJSON \
+		-bench-router-out $(CURDIR)/BENCH_cluster.json -timeout 20m -v
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the
 # corpus plus a short exploration burst.

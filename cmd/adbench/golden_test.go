@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestGoldenAdbenchReport pins the complete normalized report for the
+// tiny seeded affinity scenario: per-class counters, ad and click
+// tallies, per-backend served counts, router accounting. The affinity
+// policy's rendezvous mapping over stable instance names makes every
+// retained field a pure function of the spec, so any drift in the
+// serving stack, the traffic generator, or the router shows up as a
+// diff. Regenerate deliberately with `make golden`.
+func TestGoldenAdbenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a cluster")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", tinySpec, "-normalize", "-quiet"}, &out, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	testutil.Golden(t, filepath.Join("testdata", "report_tiny.golden.json"), out.Bytes())
+}

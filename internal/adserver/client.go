@@ -62,8 +62,9 @@ type Client struct {
 	HTTP    *http.Client
 	Policy  RetryPolicy
 
-	mu  sync.Mutex
-	rng *stats.RNG // jitter stream; guarded by mu
+	mu        sync.Mutex
+	rng       *stats.RNG           // jitter stream; guarded by mu
+	coolUntil map[string]time.Time // per-host Retry-After deadlines; guarded by mu
 }
 
 // NewClient returns a client for the given base URL (e.g.
@@ -124,11 +125,20 @@ func (c *Client) Stats() (*Stats, error) {
 	return &out, nil
 }
 
-// getJSON is the retry loop shared by all client calls.
+// getJSON is the retry loop shared by all client calls. A host that
+// previously answered 429 with Retry-After is cooling: the client
+// honors that host's own deadline — sleeping it off up front rather
+// than hammering the host and burning retry attempts — instead of
+// treating every backend as one shared budget.
 func (c *Client) getJSON(ctx context.Context, u string, into interface{}) error {
 	attempts := c.Policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
+	}
+	if rem := c.coolingRemaining(u); rem > 0 {
+		if err := c.sleep(ctx, rem); err != nil {
+			return fmt.Errorf("adserver client: host cooling (Retry-After): %w", err)
+		}
 	}
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -136,6 +146,9 @@ func (c *Client) getJSON(ctx context.Context, u string, into interface{}) error 
 		lastErr, retryAfter = c.tryOnce(ctx, u, into)
 		if lastErr == nil {
 			return nil
+		}
+		if retryAfter > 0 {
+			c.noteCooling(u, retryAfter)
 		}
 		var se *StatusError
 		if errors.As(lastErr, &se) && !retryable(se.StatusCode) {
@@ -179,6 +192,48 @@ func (c *Client) tryOnce(ctx context.Context, u string, into interface{}) (error
 		return fmt.Errorf("adserver client: decode: %w", err), 0
 	}
 	return nil, 0
+}
+
+// noteCooling records a host's Retry-After deadline.
+func (c *Client) noteCooling(u string, retryAfter time.Duration) {
+	host := hostOf(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coolUntil == nil {
+		c.coolUntil = make(map[string]time.Time)
+	}
+	until := time.Now().Add(retryAfter)
+	if until.After(c.coolUntil[host]) {
+		c.coolUntil[host] = until
+	}
+}
+
+// coolingRemaining returns how long the URL's host is still cooling (0
+// when it is not), dropping expired entries.
+func (c *Client) coolingRemaining(u string) time.Duration {
+	host := hostOf(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	until, ok := c.coolUntil[host]
+	if !ok {
+		return 0
+	}
+	rem := time.Until(until)
+	if rem <= 0 {
+		delete(c.coolUntil, host)
+		return 0
+	}
+	return rem
+}
+
+// hostOf extracts the host key for the cooling map (the raw string on
+// parse failure, so malformed URLs still cool something).
+func hostOf(u string) string {
+	parsed, err := url.Parse(u)
+	if err != nil || parsed.Host == "" {
+		return u
+	}
+	return parsed.Host
 }
 
 // backoff draws the jittered delay for the attempt that just failed.

@@ -99,17 +99,51 @@ func Deadline(d time.Duration) Middleware {
 	}
 }
 
+// InFlightGauge exposes the admission gate's live occupancy so the
+// cluster router's least-loaded policy reads real signal instead of
+// guessing: Load is the number of requests currently inside the gate,
+// Capacity the gate's bound. The zero value reads 0/0 (no gate).
+type InFlightGauge struct {
+	cur atomic.Int64
+	cap int64
+}
+
+// Load returns the current in-flight request count.
+func (g *InFlightGauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cur.Load()
+}
+
+// Capacity returns the admission bound (0 = no admission control).
+func (g *InFlightGauge) Capacity() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cap
+}
+
 // Admission is the load-shedding gate: at most maxInFlight requests run
 // concurrently, and requests beyond that are rejected immediately with
 // 429 + Retry-After instead of queueing unboundedly behind a slow
 // backend. retryAfter is the hint sent to clients (rounded up to whole
-// seconds for the header); onShed (optional) observes each rejection.
-func Admission(maxInFlight int, retryAfter time.Duration, onShed func()) Middleware {
+// seconds for the header); onShed (optional) observes each rejection;
+// gauge (optional) tracks live occupancy for /statz and the X-Inflight
+// header.
+func Admission(maxInFlight int, retryAfter time.Duration, onShed func(), gauge *InFlightGauge) Middleware {
 	slots := make(chan struct{}, maxInFlight)
+	if gauge != nil {
+		gauge.cap = int64(maxInFlight)
+	}
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			select {
 			case slots <- struct{}{}:
+				if gauge != nil {
+					gauge.cur.Add(1)
+					defer gauge.cur.Add(-1)
+				}
 				defer func() { <-slots }()
 				next.ServeHTTP(w, r)
 			default:
@@ -119,6 +153,28 @@ func Admission(maxInFlight int, retryAfter time.Duration, onShed func()) Middlew
 				writeError(w, r, http.StatusTooManyRequests, "overloaded",
 					fmt.Sprintf("in-flight limit %d reached, retry later", maxInFlight), retryAfter)
 			}
+		})
+	}
+}
+
+// InstanceHeaders stamps every response with the serving instance's
+// identity and admission occupancy (X-Instance, X-Inflight, X-Capacity)
+// so a fronting router can attribute responses and feed its
+// least-loaded policy from live traffic without extra probe round
+// trips. Mounted outermost on /search: shed responses carry the
+// headers too.
+func InstanceHeaders(instance string, gauge *InFlightGauge) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := w.Header()
+			if instance != "" {
+				h.Set("X-Instance", instance)
+			}
+			if gauge != nil {
+				h.Set("X-Inflight", fmt.Sprintf("%d", gauge.Load()))
+				h.Set("X-Capacity", fmt.Sprintf("%d", gauge.Capacity()))
+			}
+			next.ServeHTTP(w, r)
 		})
 	}
 }

@@ -80,7 +80,8 @@ func TestAdmissionShedsWith429AndRetryAfter(t *testing.T) {
 	entered := make(chan struct{}, 2)
 	var sheds int
 	var mu sync.Mutex
-	h := Admission(2, 1500*time.Millisecond, func() { mu.Lock(); sheds++; mu.Unlock() })(
+	gauge := &InFlightGauge{}
+	h := Admission(2, 1500*time.Millisecond, func() { mu.Lock(); sheds++; mu.Unlock() }, gauge)(
 		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			entered <- struct{}{}
 			<-release
@@ -96,6 +97,10 @@ func TestAdmissionShedsWith429AndRetryAfter(t *testing.T) {
 	}
 	<-entered
 	<-entered // both slots held
+
+	if gauge.Load() != 2 || gauge.Capacity() != 2 {
+		t.Fatalf("gauge %d/%d, want 2/2", gauge.Load(), gauge.Capacity())
+	}
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
@@ -121,11 +126,15 @@ func TestAdmissionShedsWith429AndRetryAfter(t *testing.T) {
 	close(release)
 	wg.Wait()
 
-	// Slots were released: the next request is admitted.
+	// Slots were released: the next request is admitted and the gauge
+	// returns to zero after it finishes.
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
 	if rec.Code == http.StatusTooManyRequests {
 		t.Fatal("slot not released after handler returned")
+	}
+	if gauge.Load() != 0 {
+		t.Fatalf("gauge %d after all requests done, want 0", gauge.Load())
 	}
 }
 

@@ -67,6 +67,13 @@ type Server struct {
 	// strictly best-effort and must not influence a response.
 	events eventlog.Sink
 
+	// instance/inflight/cache are set by Handler from its Options; they
+	// feed /statz and the X-Instance / X-Inflight response headers the
+	// cluster router consumes.
+	instance string
+	inflight *InFlightGauge
+	cache    *responseCache
+
 	served   atomic.Int64
 	clicks   atomic.Int64
 	noMatch  atomic.Int64
@@ -111,6 +118,7 @@ func New(p *platform.Platform, gen *queries.Generator, cfg auction.Config, seed 
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/statz", s.handleStatz)
 	return s
 }
 
@@ -139,6 +147,15 @@ type Options struct {
 	// RetryAfter is the backoff hint on shed responses (rounded up to
 	// whole seconds for the header). Defaults to 1s when zero.
 	RetryAfter time.Duration
+	// InstanceID, when non-empty, is stamped on every /search response
+	// as X-Instance and reported by /statz, so a fronting router can
+	// attribute traffic per member. Cluster harnesses assign "i0","i1",…
+	InstanceID string
+	// CacheSize, when > 0, enables the per-instance /search response
+	// cache (entries, LRU). Safe because responses are pure functions of
+	// (seed, query, country); cached hits skip event recording (see
+	// cache.go). 0 disables.
+	CacheSize int
 	// Wrap, when non-nil, wraps each route's handler — the mount point
 	// for the fault-injection chaos layer in test builds. It is applied
 	// inside admission control and the deadline, so injected latency
@@ -165,12 +182,23 @@ func (s *Server) Handler(opts Options) http.Handler {
 		retryAfter = time.Second
 	}
 
+	s.instance = opts.InstanceID
 	var searchMW []Middleware
 	if opts.MaxInFlight > 0 {
-		searchMW = append(searchMW, Admission(opts.MaxInFlight, retryAfter, func() { s.shed.Add(1) }))
+		s.inflight = &InFlightGauge{}
+		searchMW = append(searchMW, InstanceHeaders(opts.InstanceID, s.inflight))
+		searchMW = append(searchMW, Admission(opts.MaxInFlight, retryAfter, func() { s.shed.Add(1) }, s.inflight))
+	} else if opts.InstanceID != "" {
+		searchMW = append(searchMW, InstanceHeaders(opts.InstanceID, nil))
 	}
 	if opts.RequestTimeout > 0 {
 		searchMW = append(searchMW, Deadline(opts.RequestTimeout))
+	}
+	if opts.CacheSize > 0 {
+		// Inside admission and the deadline, outside the fault-injection
+		// wrap: a cached hit avoids whatever latency/cost the wrap models.
+		s.cache = newResponseCache(opts.CacheSize)
+		searchMW = append(searchMW, Cache(s.cache))
 	}
 
 	m := http.NewServeMux()
@@ -178,6 +206,7 @@ func (s *Server) Handler(opts Options) http.Handler {
 	m.Handle("/stats", wrap("/stats", http.HandlerFunc(s.handleStats)))
 	m.HandleFunc("/healthz", s.handleHealth)
 	m.HandleFunc("/readyz", s.handleReady)
+	m.HandleFunc("/statz", s.handleStatz)
 
 	return Chain(m, RequestID(), Recover(func(interface{}) { s.panics.Add(1) }))
 }
@@ -444,6 +473,35 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LiveAds:   s.p.LiveAds(),
 		IndexBids: s.p.Index().Len(),
 	})
+}
+
+// Statz is the /statz reply: the cheap admission-gauge probe the
+// cluster router polls for least-loaded routing. Unlike /stats it
+// carries no platform aggregates — just identity and live occupancy —
+// so polling it every few hundred milliseconds is free.
+type Statz struct {
+	Instance  string `json:"instance"`
+	InFlight  int64  `json:"inflight"`
+	Capacity  int64  `json:"capacity"`
+	Served    int64  `json:"served"`
+	Shed      int64  `json:"shed"`
+	CacheHits int64  `json:"cacheHits"`
+	CacheMiss int64  `json:"cacheMisses"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	z := Statz{
+		Instance: s.instance,
+		InFlight: s.inflight.Load(),
+		Capacity: s.inflight.Capacity(),
+		Served:   s.served.Load(),
+		Shed:     s.shed.Load(),
+	}
+	if s.cache != nil {
+		z.CacheHits = s.cache.hits.Load()
+		z.CacheMiss = s.cache.misses.Load()
+	}
+	writeJSON(w, z)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

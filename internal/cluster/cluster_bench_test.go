@@ -11,10 +11,11 @@ package cluster
 import (
 	"encoding/json"
 	"flag"
-	"os"
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 var benchClusterOut = flag.String("bench-cluster-out", "",
@@ -131,14 +132,11 @@ func TestWriteClusterBenchJSON(t *testing.T) {
 		}
 	}
 	rep := clusterBenchReport(t, mkspec, "small/30d/4kq", []int{1, 2, 4}, t.TempDir)
-	b, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := testutil.AppendBenchRecord(*benchClusterOut, rep); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(*benchClusterOut, append(b, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s:\n%s", *benchClusterOut, b)
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	t.Logf("appended to %s:\n%s", *benchClusterOut, b)
 }
 
 // TestClusterBenchReportSmoke keeps the harness under test on every

@@ -1,0 +1,141 @@
+package faultinject
+
+// Backend-level fault profiles for the routed adserver cluster: where
+// Faults degrades one route of one server, BackendFaults degrades one
+// cluster member as the router sees it — service latency, error
+// replies, connection drops, and a deterministic outage window that
+// trips the router's consecutive-error ejection and then heals so the
+// seeded-backoff re-admission path runs. Per the standing rule, cluster
+// tests use these profiles instead of hand-rolled mock backends.
+//
+// Fates are a pure function of (injector seed, backend name, arrival
+// index), in the same fixed roll order as Faults — latency, then drop,
+// then error — so a later fault class never perturbs an earlier one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// BackendFaults configures how one cluster member misbehaves.
+type BackendFaults struct {
+	// Latency is added to every request (context-aware sleep), modeling
+	// a slow member; LatencyJitter adds a uniform [0, J) draw on top.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// DropRate is the probability a request's connection is severed
+	// without a response (aborts via http.ErrAbortHandler), which the
+	// router observes as a transport error.
+	DropRate float64
+	// ErrorRate is the probability of replying ErrorStatus instead of
+	// serving.
+	ErrorRate float64
+	// ErrorStatus defaults to 503 — the shape of a member whose own
+	// dependency is down, and the status the router retries elsewhere.
+	ErrorStatus int
+	// FailFrom/FailUntil define a deterministic outage window by arrival
+	// index (1-based, inclusive/exclusive): requests n with
+	// FailFrom <= n < FailUntil all fail — with ErrorStatus, or by
+	// connection drop when DropOutage is set. The window is the ejection
+	// trigger: enough consecutive failures ejects the member, and once
+	// arrivals pass FailUntil, re-admission probes find it healthy
+	// again. Zero FailFrom disables the window.
+	FailFrom, FailUntil uint64
+	// DropOutage makes the outage window sever connections instead of
+	// writing ErrorStatus.
+	DropOutage bool
+}
+
+// backendState carries one member's profile and fate tallies.
+type backendState struct {
+	cfg     BackendFaults
+	arrived atomic.Uint64
+	errors  atomic.Uint64
+	drops   atomic.Uint64
+	delayed atomic.Uint64
+}
+
+// Backend returns a middleware applying a named member's fault profile,
+// for mounting via adserver Options.Wrap on that member's /search
+// route. Registering the same name again resets its counters.
+func (in *Injector) Backend(name string, f BackendFaults) func(http.Handler) http.Handler {
+	if f.ErrorStatus == 0 {
+		f.ErrorStatus = http.StatusServiceUnavailable
+	}
+	st := &backendState{cfg: f}
+	in.mu.Lock()
+	in.backends[name] = st
+	in.mu.Unlock()
+	nameHash := fnv64(name)
+	return func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n := st.arrived.Add(1)
+			rng := stats.NewRNG(in.seed ^ nameHash ^ (n * 0x9e3779b97f4a7c15))
+
+			f := st.cfg
+			if d := f.Latency + jitter(f.LatencyJitter, rng); d > 0 {
+				st.delayed.Add(1)
+				sleepCtx(r.Context(), d)
+			}
+			if f.FailFrom > 0 && n >= f.FailFrom && n < f.FailUntil {
+				if f.DropOutage {
+					st.drops.Add(1)
+					panic(http.ErrAbortHandler)
+				}
+				st.errors.Add(1)
+				writeInjected(w, f.ErrorStatus, name, n)
+				return
+			}
+			if f.DropRate > 0 && rng.Float64() < f.DropRate {
+				st.drops.Add(1)
+				panic(http.ErrAbortHandler)
+			}
+			if f.ErrorRate > 0 && rng.Float64() < f.ErrorRate {
+				st.errors.Add(1)
+				writeInjected(w, f.ErrorStatus, name, n)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+}
+
+// writeInjected emits the injected error reply.
+func writeInjected(w http.ResponseWriter, status int, name string, n uint64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf("injected backend fault (backend=%s n=%d)", name, n),
+		"code":  "fault_injected",
+	})
+}
+
+// BackendStats reports one named member's arrival and fate counters.
+type BackendStats struct {
+	Requests       uint64
+	InjectedErrors uint64
+	DroppedConns   uint64
+	Delayed        uint64
+}
+
+// BackendStats returns the counters for a named member (zero-valued
+// for unknown names).
+func (in *Injector) BackendStats(name string) BackendStats {
+	in.mu.Lock()
+	st := in.backends[name]
+	in.mu.Unlock()
+	if st == nil {
+		return BackendStats{}
+	}
+	return BackendStats{
+		Requests:       st.arrived.Load(),
+		InjectedErrors: st.errors.Load(),
+		DroppedConns:   st.drops.Load(),
+		Delayed:        st.delayed.Load(),
+	}
+}

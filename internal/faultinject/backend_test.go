@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fate is what one arrival experienced at the fault layer.
+type fate int
+
+const (
+	fateServed fate = iota
+	fateError
+	fateDrop
+)
+
+// driveBackend sends n requests through a backend profile in-process
+// and records each arrival's fate. Connection drops surface as the
+// http.ErrAbortHandler panic, recovered here the way net/http does.
+func driveBackend(in *Injector, name string, f BackendFaults, n int) []fate {
+	mw := in.Backend(name, f)
+	h := mw(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	out := make([]fate, n)
+	for i := range out {
+		out[i] = func() (ft fate) {
+			defer func() {
+				if p := recover(); p != nil {
+					if p != http.ErrAbortHandler {
+						panic(p)
+					}
+					ft = fateDrop
+				}
+			}()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?q=x", nil))
+			if rec.Code != http.StatusOK {
+				return fateError
+			}
+			return fateServed
+		}()
+	}
+	return out
+}
+
+// TestBackendFateDeterminism is the satellite pin: fates are a pure
+// function of (injector seed, backend name, arrival index) — same seed,
+// same fate sequence; different seed or name, different sequence.
+func TestBackendFateDeterminism(t *testing.T) {
+	profile := BackendFaults{ErrorRate: 0.3, DropRate: 0.2}
+	a := driveBackend(New(11), "b0", profile, 300)
+	b := driveBackend(New(11), "b0", profile, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d fate differs across identically-seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	counts := map[fate]int{}
+	for _, f := range a {
+		counts[f]++
+	}
+	if counts[fateError] == 0 || counts[fateDrop] == 0 || counts[fateServed] == 0 {
+		t.Fatalf("fate mix degenerate: %v", counts)
+	}
+
+	diff := func(other []fate) bool {
+		for i := range a {
+			if a[i] != other[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diff(driveBackend(New(12), "b0", profile, 300)) {
+		t.Fatal("different injector seeds produced identical fates")
+	}
+	if !diff(driveBackend(New(11), "b1", profile, 300)) {
+		t.Fatal("different backend names produced identical fates")
+	}
+}
+
+// TestBackendOutageWindowExact pins the 1-based inclusive/exclusive
+// window arithmetic: arrivals [FailFrom, FailUntil) fail, everything
+// else serves.
+func TestBackendOutageWindowExact(t *testing.T) {
+	fates := driveBackend(New(5), "w", BackendFaults{FailFrom: 3, FailUntil: 6}, 10)
+	for i, f := range fates {
+		n := uint64(i + 1)
+		want := fateServed
+		if n >= 3 && n < 6 {
+			want = fateError
+		}
+		if f != want {
+			t.Fatalf("arrival %d: fate %v, want %v", n, f, want)
+		}
+	}
+	// DropOutage severs instead of replying.
+	fates = driveBackend(New(5), "wd", BackendFaults{FailFrom: 1, FailUntil: 3, DropOutage: true}, 4)
+	want := []fate{fateDrop, fateDrop, fateServed, fateServed}
+	for i := range want {
+		if fates[i] != want[i] {
+			t.Fatalf("drop-outage arrival %d: fate %v, want %v", i+1, fates[i], want[i])
+		}
+	}
+}
+
+// TestBackendStatsCounters: the per-member tallies match the driven
+// fates, and unknown names read zero.
+func TestBackendStatsCounters(t *testing.T) {
+	in := New(21)
+	fates := driveBackend(in, "c", BackendFaults{
+		Latency:   time.Microsecond,
+		ErrorRate: 0.4,
+		DropRate:  0.1,
+	}, 200)
+	var errs, drops uint64
+	for _, f := range fates {
+		switch f {
+		case fateError:
+			errs++
+		case fateDrop:
+			drops++
+		}
+	}
+	got := in.BackendStats("c")
+	if got.Requests != 200 || got.InjectedErrors != errs || got.DroppedConns != drops {
+		t.Fatalf("stats %+v, want requests=200 errors=%d drops=%d", got, errs, drops)
+	}
+	if got.Delayed != 200 {
+		t.Fatalf("delayed = %d, want every request delayed", got.Delayed)
+	}
+	if (in.BackendStats("ghost") != BackendStats{}) {
+		t.Fatal("unknown backend reported non-zero stats")
+	}
+}
+
+// TestBackendErrorStatusDefault: the injected reply defaults to 503
+// with the machine-readable code the router keys on.
+func TestBackendErrorStatusDefault(t *testing.T) {
+	in := New(1)
+	mw := in.Backend("s", BackendFaults{FailFrom: 1, FailUntil: 2})
+	h := mw(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 default", rec.Code)
+	}
+	if !containsStr(rec.Body.String(), "fault_injected") {
+		t.Fatalf("body %q missing injected code", rec.Body.String())
+	}
+	// Custom status is honored.
+	mw = in.Backend("s2", BackendFaults{FailFrom: 1, FailUntil: 2, ErrorStatus: http.StatusBadGateway})
+	rec = httptest.NewRecorder()
+	mw(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})).
+		ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want custom 502", rec.Code)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

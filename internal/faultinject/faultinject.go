@@ -62,17 +62,19 @@ type routeState struct {
 type Injector struct {
 	seed uint64
 
-	mu      sync.Mutex
-	routes  map[string]*routeState
-	writers map[string]*writerState
+	mu       sync.Mutex
+	routes   map[string]*routeState
+	writers  map[string]*writerState
+	backends map[string]*backendState
 }
 
 // New returns an injector whose every decision derives from seed.
 func New(seed uint64) *Injector {
 	return &Injector{
-		seed:    seed,
-		routes:  make(map[string]*routeState),
-		writers: make(map[string]*writerState),
+		seed:     seed,
+		routes:   make(map[string]*routeState),
+		writers:  make(map[string]*writerState),
+		backends: make(map[string]*backendState),
 	}
 }
 

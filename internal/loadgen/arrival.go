@@ -1,0 +1,171 @@
+// Package loadgen is the seeded synthetic-traffic harness for the
+// routed adserver cluster: pluggable open-loop arrival processes
+// (Poisson, Gamma/Weibull bursts, diurnal sinusoid, flash crowd),
+// traffic classes drawn from the keyword universes, and a runner that
+// fires the schedule at a router and folds per-class results into
+// internal/metrics recorders. Every schedule and every query is a pure
+// function of the scenario seed, so two runs of the same scenario
+// produce identical request streams — the property the byte-identical
+// report golden pins.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Arrival produces inter-arrival gaps for an open-loop schedule. The
+// elapsed offset of the arrival being scheduled is passed in so
+// time-varying processes (diurnal, flash crowd) can modulate their
+// instantaneous rate; stationary processes ignore it.
+type Arrival interface {
+	// Gap draws the delay between the arrival at elapsed and the next
+	// one. Implementations must draw only from rng.
+	Gap(rng *stats.RNG, elapsed time.Duration) time.Duration
+	// String names the process for reports.
+	String() string
+}
+
+// gapFromSeconds converts a positive seconds draw into a duration,
+// flooring at one nanosecond so schedules always advance.
+func gapFromSeconds(s float64) time.Duration {
+	if s <= 0 || math.IsNaN(s) {
+		return time.Nanosecond
+	}
+	d := time.Duration(s * float64(time.Second))
+	if d < time.Nanosecond {
+		return time.Nanosecond
+	}
+	return d
+}
+
+// Poisson is the memoryless baseline: exponential gaps at Rate per
+// second — the standard open-loop model for aggregate search traffic.
+type Poisson struct {
+	Rate float64 // arrivals per second, > 0
+}
+
+func (p Poisson) Gap(rng *stats.RNG, _ time.Duration) time.Duration {
+	return gapFromSeconds(stats.Exponential(rng, 1/p.Rate))
+}
+
+func (p Poisson) String() string { return fmt.Sprintf("poisson(rate=%g)", p.Rate) }
+
+// GammaBurst draws Gamma(Shape, ·) gaps with mean 1/Rate. Shape < 1
+// over-disperses the gaps — clumps of near-simultaneous arrivals
+// separated by long lulls — the burstiness real query logs show at
+// sub-second scale.
+type GammaBurst struct {
+	Rate  float64 // mean arrivals per second, > 0
+	Shape float64 // gamma shape; < 1 = bursty, 1 = Poisson, > 1 = regular
+}
+
+func (g GammaBurst) Gap(rng *stats.RNG, _ time.Duration) time.Duration {
+	return gapFromSeconds(stats.Gamma(rng, g.Shape, 1/(g.Rate*g.Shape)))
+}
+
+func (g GammaBurst) String() string { return fmt.Sprintf("gamma(rate=%g,shape=%g)", g.Rate, g.Shape) }
+
+// WeibullBurst draws Weibull(Shape, ·) gaps with mean 1/Rate: shape < 1
+// gives heavy-tailed lulls (deeper burstiness than Gamma at the same
+// mean), shape > 1 regularizes toward a metronome.
+type WeibullBurst struct {
+	Rate  float64
+	Shape float64
+}
+
+func (w WeibullBurst) Gap(rng *stats.RNG, _ time.Duration) time.Duration {
+	// Scale so the mean gap is 1/Rate: E[Weibull] = scale * Γ(1+1/shape).
+	scale := 1 / (w.Rate * math.Gamma(1+1/w.Shape))
+	return gapFromSeconds(stats.Weibull(rng, w.Shape, scale))
+}
+
+func (w WeibullBurst) String() string {
+	return fmt.Sprintf("weibull(rate=%g,shape=%g)", w.Rate, w.Shape)
+}
+
+// Diurnal modulates a Poisson process with a sinusoid: rate(t) =
+// Base * (1 + Amplitude*sin(2πt/Period)). A compressed Period replays a
+// day's swell in seconds of bench time.
+type Diurnal struct {
+	Base      float64       // mean arrivals per second, > 0
+	Amplitude float64       // 0..1; peak rate = Base*(1+A), trough = Base*(1-A)
+	Period    time.Duration // one full cycle
+}
+
+func (d Diurnal) Gap(rng *stats.RNG, elapsed time.Duration) time.Duration {
+	rate := d.Base * (1 + d.Amplitude*math.Sin(2*math.Pi*elapsed.Seconds()/d.Period.Seconds()))
+	if min := d.Base * 1e-3; rate < min {
+		rate = min // trough floor keeps the schedule advancing
+	}
+	return gapFromSeconds(stats.Exponential(rng, 1/rate))
+}
+
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal(base=%g,amp=%g,period=%s)", d.Base, d.Amplitude, d.Period)
+}
+
+// FlashCrowd is a Poisson baseline that multiplies its rate by Factor
+// inside the [Start, Start+Duration) window — a breaking-news spike
+// slamming the cluster mid-run.
+type FlashCrowd struct {
+	Base     float64
+	Factor   float64 // spike multiplier, >= 1
+	Start    time.Duration
+	Duration time.Duration
+}
+
+func (f FlashCrowd) Gap(rng *stats.RNG, elapsed time.Duration) time.Duration {
+	rate := f.Base
+	if elapsed >= f.Start && elapsed < f.Start+f.Duration {
+		rate *= f.Factor
+	}
+	return gapFromSeconds(stats.Exponential(rng, 1/rate))
+}
+
+func (f FlashCrowd) String() string {
+	return fmt.Sprintf("flashcrowd(base=%g,x%g@%s+%s)", f.Base, f.Factor, f.Start, f.Duration)
+}
+
+// Schedule materializes an open-loop arrival schedule: offsets from the
+// run start, strictly increasing, covering [0, horizon). The schedule
+// is a pure function of (proc, seed, horizon). maxN > 0 caps the
+// schedule length (a guard for pathological rate configs); 0 means
+// uncapped.
+func Schedule(proc Arrival, seed uint64, horizon time.Duration, maxN int) []time.Duration {
+	rng := stats.NewRNG(seed)
+	var out []time.Duration
+	t := proc.Gap(rng, 0) // first arrival is one gap past the start
+	for t < horizon {
+		out = append(out, t)
+		if maxN > 0 && len(out) >= maxN {
+			break
+		}
+		t += proc.Gap(rng, t)
+	}
+	return out
+}
+
+// SplitSchedule partitions a schedule round-robin across n workers,
+// preserving order within each worker. Interleaving by arrival index
+// (not contiguous blocks) keeps every worker active across the whole
+// horizon, so open-loop pacing holds even with few workers.
+func SplitSchedule(sched []time.Duration, n int) [][]time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]time.Duration, n)
+	for i, t := range sched {
+		out[i%n] = append(out[i%n], t)
+	}
+	for _, s := range out {
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+			panic("loadgen: schedule not sorted") // unreachable: Schedule is increasing
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/market"
+	"repro/internal/queries"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// Class describes one traffic class: a share of the arrival stream with
+// its own query shape, so the report can show how the cluster treats
+// head traffic vs tail traffic vs junk under the same load.
+type Class struct {
+	// Name labels the class in reports.
+	Name string `json:"name"`
+	// Weight is the class's share of arrivals (normalized over the
+	// scenario's classes).
+	Weight float64 `json:"weight"`
+	// Kind selects the query shape:
+	//   head     — popular keyword, bare form (Zipf-concentrated, cacheable)
+	//   extended — popular keyword decorated with context words
+	//   tail     — uniformly random keyword (cache-hostile, heavy resolve)
+	//   nomatch  — junk tokens that resolve to nothing
+	Kind string `json:"kind"`
+	// TopK, for head/extended, caps the Zipf draw to the K most popular
+	// keywords per vertical (0 = whole universe). A small TopK models
+	// trending-query concentration — the working set a flash crowd
+	// actually hammers.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// validKinds guards scenario specs at load time.
+var validKinds = map[string]bool{"head": true, "extended": true, "tail": true, "nomatch": true}
+
+// ValidateClasses checks a scenario's class list.
+func ValidateClasses(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("loadgen: scenario needs at least one class")
+	}
+	total := 0.0
+	for _, c := range classes {
+		if !validKinds[c.Kind] {
+			return fmt.Errorf("loadgen: class %q: unknown kind %q", c.Name, c.Kind)
+		}
+		if c.Weight < 0 {
+			return fmt.Errorf("loadgen: class %q: negative weight", c.Name)
+		}
+		if c.TopK < 0 {
+			return fmt.Errorf("loadgen: class %q: negative top_k", c.Name)
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: class weights sum to zero")
+	}
+	return nil
+}
+
+// Request is one fully-materialized arrival: when to send it, what to
+// ask, and which class to account it under.
+type Request struct {
+	Offset  time.Duration // from run start
+	Class   int           // index into the scenario's class list
+	Query   string
+	Country market.Country
+}
+
+// BuildRequests materializes the request stream: one Request per
+// schedule slot, with class, query text, and country all drawn from a
+// generator seeded only by seed — so the same (seed, schedule, classes)
+// always yields the identical stream, independent of how the runner
+// later parallelizes sending. Queries draw from gen's keyword
+// universes; gen's own RNG streams are never touched.
+func BuildRequests(gen *queries.Generator, classes []Class, sched []time.Duration, seed uint64) []Request {
+	rng := stats.NewRNG(seed)
+	countries := market.NewTrafficSampler(rng.ForkNamed("loadgen-countries"))
+	classRNG := rng.ForkNamed("loadgen-class")
+	queryRNG := rng.ForkNamed("loadgen-query")
+
+	verts := verticals.All()
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = c.Weight
+	}
+	// Per-vertical Zipf samplers for head/extended keyword popularity,
+	// shaped like the query generator's own traffic model. Classes with a
+	// TopK cap get their own sampler set over the truncated universe;
+	// construction order is fixed (ascending k) so the RNG streams are a
+	// pure function of the class list.
+	zipfsByK := map[int][]*stats.Zipf{}
+	topKs := []int{0}
+	for _, c := range classes {
+		if c.TopK > 0 {
+			topKs = append(topKs, c.TopK)
+		}
+	}
+	sort.Ints(topKs)
+	for _, k := range topKs {
+		if _, ok := zipfsByK[k]; ok {
+			continue
+		}
+		zs := make([]*stats.Zipf, len(verts))
+		for i := range verts {
+			n := uint64(gen.Universe(i).Size())
+			name := "zipf-" + string(verts[i].Name)
+			if k > 0 {
+				if uint64(k) < n {
+					n = uint64(k)
+				}
+				name = fmt.Sprintf("zipf-top%d-%s", k, verts[i].Name)
+			}
+			zs[i] = stats.NewZipf(queryRNG.ForkNamed(name), 1.45, 2.0, n)
+		}
+		zipfsByK[k] = zs
+	}
+
+	out := make([]Request, len(sched))
+	for i, off := range sched {
+		ci := stats.Categorical(classRNG, weights)
+		out[i] = Request{
+			Offset:  off,
+			Class:   ci,
+			Query:   buildQuery(gen, classes[ci].Kind, queryRNG, zipfsByK[classes[ci].TopK]),
+			Country: countries.Sample(),
+		}
+	}
+	return out
+}
+
+// decorations wrap a keyword phrase into the extended query form.
+var decorations = []string{"best %s today", "cheap %s", "%s near me", "how to get %s", "%s online free"}
+
+// buildQuery renders one query string for a class kind.
+func buildQuery(gen *queries.Generator, kind string, rng *stats.RNG, zipfs []*stats.Zipf) string {
+	vi := rng.Intn(len(zipfs))
+	u := gen.Universe(vi)
+	switch kind {
+	case "head":
+		return u.Keywords[int(zipfs[vi].Uint64())].Phrase
+	case "extended":
+		kw := u.Keywords[int(zipfs[vi].Uint64())]
+		return fmt.Sprintf(decorations[rng.Intn(len(decorations))], kw.Phrase)
+	case "tail":
+		return u.Keywords[rng.Intn(u.Size())].Phrase
+	case "nomatch":
+		// Junk that tokenizes but matches no keyword: exercises the
+		// no-match path and the full fuzzy-resolve scan.
+		var b strings.Builder
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			for j := 0; j < 5+rng.Intn(4); j++ {
+				b.WriteByte(byte('a' + rng.Intn(26)))
+			}
+		}
+		return b.String()
+	}
+	panic("loadgen: unknown class kind " + kind) // ValidateClasses screens this
+}

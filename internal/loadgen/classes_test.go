@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/queries"
+	"repro/internal/stats"
+)
+
+func testClasses() []Class {
+	return []Class{
+		{Name: "head", Weight: 0.5, Kind: "head"},
+		{Name: "extended", Weight: 0.2, Kind: "extended"},
+		{Name: "tail", Weight: 0.2, Kind: "tail"},
+		{Name: "junk", Weight: 0.1, Kind: "nomatch"},
+	}
+}
+
+// TestBuildRequestsDeterminism: same (generator seed, classes, schedule,
+// seed) must yield the identical request stream — the other half of the
+// byte-identical report property.
+func TestBuildRequestsDeterminism(t *testing.T) {
+	sched := Schedule(Poisson{Rate: 500}, 11, time.Second, 0)
+	mk := func() []Request {
+		gen := queries.NewGenerator(stats.NewRNG(5))
+		return BuildRequests(gen, testClasses(), sched, 77)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(sched) {
+		t.Fatalf("got %d requests for %d slots", len(a), len(sched))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBuildRequestsDoesNotPerturbGenerator: materializing load must not
+// advance the generator's own RNG streams (the adserver shares it).
+func TestBuildRequestsDoesNotPerturbGenerator(t *testing.T) {
+	sched := Schedule(Poisson{Rate: 200}, 3, time.Second, 0)
+
+	gen := queries.NewGenerator(stats.NewRNG(9))
+	control := queries.NewGenerator(stats.NewRNG(9))
+	BuildRequests(gen, testClasses(), sched, 4)
+	for i := 0; i < 50; i++ {
+		a, b := gen.Next(), control.Next()
+		if a != b {
+			t.Fatalf("draw %d diverged after BuildRequests: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestBuildRequestsClassMix: weights steer the class mix (loose bounds)
+// and each kind produces its query shape.
+func TestBuildRequestsClassMix(t *testing.T) {
+	gen := queries.NewGenerator(stats.NewRNG(5))
+	sched := Schedule(Poisson{Rate: 2000}, 13, time.Second, 0)
+	reqs := BuildRequests(gen, testClasses(), sched, 21)
+
+	counts := make([]int, 4)
+	for _, rq := range reqs {
+		counts[rq.Class]++
+		if rq.Query == "" {
+			t.Fatal("empty query")
+		}
+	}
+	n := float64(len(reqs))
+	for i, want := range []float64{0.5, 0.2, 0.2, 0.1} {
+		got := float64(counts[i]) / n
+		if got < want-0.1 || got > want+0.1 {
+			t.Fatalf("class %d share = %.2f, want ~%.2f", i, got, want)
+		}
+	}
+	// Extended queries carry decoration words beyond the bare phrase;
+	// spot-check one.
+	sawDecorated := false
+	for _, rq := range reqs {
+		if rq.Class == 1 && strings.Count(rq.Query, " ") >= 1 {
+			sawDecorated = true
+			break
+		}
+	}
+	if !sawDecorated {
+		t.Fatal("no decorated extended query found")
+	}
+}
+
+// TestValidateClasses screens spec errors.
+func TestValidateClasses(t *testing.T) {
+	if err := ValidateClasses(nil); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	if err := ValidateClasses([]Class{{Name: "x", Weight: 1, Kind: "bogus"}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := ValidateClasses([]Class{{Name: "x", Weight: -1, Kind: "head"}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := ValidateClasses([]Class{{Name: "x", Weight: 0, Kind: "head"}}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+	if err := ValidateClasses(testClasses()); err != nil {
+		t.Fatalf("valid classes rejected: %v", err)
+	}
+}

@@ -1,0 +1,440 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/adserver"
+	"repro/internal/auction"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+// Scenario is the machine-readable spec cmd/adbench runs: cluster
+// shape, routing policy, arrival process, traffic classes, fault
+// profiles, and an optional mid-run drain. All durations are
+// milliseconds so specs stay plain JSON.
+type Scenario struct {
+	Name      string `json:"name"`
+	Seed      uint64 `json:"seed"`
+	Instances int    `json:"instances"`
+	Policy    string `json:"policy"` // round_robin | least_loaded | affinity
+
+	// Bootstrap simulation shape (the platform every instance serves).
+	Scale   string `json:"scale,omitempty"`   // small | medium (default small)
+	Days    int    `json:"days,omitempty"`    // override bootstrap days (0 = scale default)
+	Queries int    `json:"queries,omitempty"` // override bootstrap queries/day
+
+	// Load shape.
+	Arrival     ArrivalSpec `json:"arrival"`
+	HorizonMS   int         `json:"horizon_ms"`             // schedule horizon
+	MaxRequests int         `json:"max_requests,omitempty"` // schedule length cap (0 = horizon only)
+	Classes     []Class     `json:"classes"`
+	Workers     int         `json:"workers,omitempty"`    // sender goroutines (default 4)
+	TimeoutMS   int         `json:"timeout_ms,omitempty"` // per-request client timeout (default 5000)
+
+	// Per-instance serving stack.
+	MaxInflight      int `json:"max_inflight,omitempty"`       // admission bound (default 64)
+	RequestTimeoutMS int `json:"request_timeout_ms,omitempty"` // per-request deadline (default 2000)
+	RetryAfterMS     int `json:"retry_after_ms,omitempty"`     // shed Retry-After hint (default 1000)
+	CacheSize        int `json:"cache,omitempty"`              // response cache entries (0 = off)
+
+	// Router knobs (zero = router defaults).
+	Retries         int `json:"retries,omitempty"`
+	EjectAfter      int `json:"eject_after,omitempty"`
+	ProbeIntervalMS int `json:"probe_interval_ms,omitempty"`
+	BackoffBaseMS   int `json:"backoff_base_ms,omitempty"`
+	BackoffCapMS    int `json:"backoff_cap_ms,omitempty"`
+
+	// Chaos.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	Drain  *DrainSpec  `json:"drain,omitempty"`
+}
+
+// ArrivalSpec names an arrival process in JSON form.
+type ArrivalSpec struct {
+	Kind      string  `json:"kind"` // poisson | gamma | weibull | diurnal | flash
+	Rate      float64 `json:"rate"`
+	Shape     float64 `json:"shape,omitempty"`     // gamma/weibull
+	Amplitude float64 `json:"amplitude,omitempty"` // diurnal
+	PeriodMS  int     `json:"period_ms,omitempty"` // diurnal
+	Factor    float64 `json:"factor,omitempty"`    // flash
+	StartMS   int     `json:"start_ms,omitempty"`  // flash spike window
+	DurMS     int     `json:"dur_ms,omitempty"`
+}
+
+// Process materializes the spec into an Arrival.
+func (a ArrivalSpec) Process() (Arrival, error) {
+	if a.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rate must be > 0")
+	}
+	switch a.Kind {
+	case "poisson", "":
+		return Poisson{Rate: a.Rate}, nil
+	case "gamma":
+		if a.Shape <= 0 {
+			return nil, fmt.Errorf("loadgen: gamma arrival needs shape > 0")
+		}
+		return GammaBurst{Rate: a.Rate, Shape: a.Shape}, nil
+	case "weibull":
+		if a.Shape <= 0 {
+			return nil, fmt.Errorf("loadgen: weibull arrival needs shape > 0")
+		}
+		return WeibullBurst{Rate: a.Rate, Shape: a.Shape}, nil
+	case "diurnal":
+		p := time.Duration(a.PeriodMS) * time.Millisecond
+		if p <= 0 {
+			return nil, fmt.Errorf("loadgen: diurnal arrival needs period_ms > 0")
+		}
+		return Diurnal{Base: a.Rate, Amplitude: a.Amplitude, Period: p}, nil
+	case "flash":
+		f := a.Factor
+		if f < 1 {
+			return nil, fmt.Errorf("loadgen: flash arrival needs factor >= 1")
+		}
+		return FlashCrowd{
+			Base:     a.Rate,
+			Factor:   f,
+			Start:    time.Duration(a.StartMS) * time.Millisecond,
+			Duration: time.Duration(a.DurMS) * time.Millisecond,
+		}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown arrival kind %q", a.Kind)
+}
+
+// FaultSpec applies a faultinject.BackendFaults profile to one instance.
+type FaultSpec struct {
+	Backend    int     `json:"backend"` // instance index
+	LatencyMS  int     `json:"latency_ms,omitempty"`
+	JitterMS   int     `json:"jitter_ms,omitempty"`
+	ErrorRate  float64 `json:"error_rate,omitempty"`
+	DropRate   float64 `json:"drop_rate,omitempty"`
+	Status     int     `json:"status,omitempty"`
+	FailFrom   uint64  `json:"fail_from,omitempty"`
+	FailUntil  uint64  `json:"fail_until,omitempty"`
+	DropOutage bool    `json:"drop_outage,omitempty"`
+}
+
+// DrainSpec drains one instance mid-run.
+type DrainSpec struct {
+	Backend int `json:"backend"`
+	AfterMS int `json:"after_ms"`
+}
+
+// LoadScenario reads and validates a scenario spec file.
+func LoadScenario(path string) (Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: scenario %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate screens a scenario before any expensive bootstrap.
+func (s *Scenario) Validate() error {
+	if s.Instances < 1 {
+		return fmt.Errorf("instances must be >= 1")
+	}
+	if _, ok := router.PolicyByName(s.Policy); !ok {
+		return fmt.Errorf("unknown policy %q", s.Policy)
+	}
+	if _, err := s.Arrival.Process(); err != nil {
+		return err
+	}
+	if s.HorizonMS <= 0 {
+		return fmt.Errorf("horizon_ms must be > 0")
+	}
+	if err := ValidateClasses(s.Classes); err != nil {
+		return err
+	}
+	for _, f := range s.Faults {
+		if f.Backend < 0 || f.Backend >= s.Instances {
+			return fmt.Errorf("fault backend %d out of range (instances=%d)", f.Backend, s.Instances)
+		}
+	}
+	if s.Drain != nil && (s.Drain.Backend < 0 || s.Drain.Backend >= s.Instances) {
+		return fmt.Errorf("drain backend %d out of range", s.Drain.Backend)
+	}
+	return nil
+}
+
+// ScenarioReport is adbench's machine-readable output.
+type ScenarioReport struct {
+	Scenario  string             `json:"scenario"`
+	Seed      uint64             `json:"seed"`
+	Instances int                `json:"instances"`
+	Policy    string             `json:"policy"`
+	Arrival   string             `json:"arrival"`
+	Scheduled int                `json:"scheduled"` // materialized arrivals
+	Load      metrics.RunReport  `json:"load"`
+	Router    router.Stats       `json:"router"`
+	Backends  []adserver.Statz   `json:"backends"`
+	Injected  []InjectedBackends `json:"injected,omitempty"`
+}
+
+// InjectedBackends surfaces the fault layer's own accounting so chaos
+// reports show what was actually injected.
+type InjectedBackends struct {
+	Backend int    `json:"backend"`
+	Errors  uint64 `json:"errors"`
+	Drops   uint64 `json:"drops"`
+	Delayed uint64 `json:"delayed"`
+}
+
+// Normalize zeroes every wall-time-dependent and scheduling-dependent
+// field that is not a pure function of the scenario seed: latency
+// quantiles, wall time, offered rate, and live gauges. What remains —
+// request/class/ad/click counters, per-backend served counts under a
+// deterministic policy, fault tallies — must be byte-identical across
+// runs of the same spec.
+func (r ScenarioReport) Normalize() ScenarioReport {
+	out := r
+	out.Load = r.Load.Normalize()
+	out.Router.Backends = append([]router.BackendStats(nil), r.Router.Backends...)
+	for i := range out.Router.Backends {
+		out.Router.Backends[i].InFlight = 0
+		out.Router.Backends[i].Reported = 0
+	}
+	out.Backends = append([]adserver.Statz(nil), r.Backends...)
+	for i := range out.Backends {
+		out.Backends[i].InFlight = 0
+	}
+	return out
+}
+
+// RunScenario boots the cluster (N adserver instances over one shared
+// frozen platform, each with its own serving stack and optional fault
+// profile, behind a policy-driven router), fires the scenario's
+// schedule at the router, and reports. logf (optional) receives
+// progress lines.
+func RunScenario(spec Scenario, logf func(format string, args ...interface{})) (ScenarioReport, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if err := spec.Validate(); err != nil {
+		return ScenarioReport{}, err
+	}
+
+	// One bootstrap serves every instance: the platform snapshot is
+	// frozen and read-only, and identical server seeds make instance
+	// responses byte-identical, so routing policy can never change what
+	// a client sees — only how fast it sees it.
+	cfg, err := simScenarioConfig(spec)
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	logf("adbench: bootstrapping platform (%d days, %d queries/day)", cfg.Days, cfg.QueriesPerDay)
+	boot := sim.New(cfg)
+	res := boot.Run()
+	logf("adbench: platform ready: %d accounts, %d live ads", res.Platform.NumAccounts(), res.Platform.LiveAds())
+
+	inj := faultinject.New(spec.Seed)
+	faultsByBackend := make(map[int]FaultSpec, len(spec.Faults))
+	for _, f := range spec.Faults {
+		faultsByBackend[f.Backend] = f
+	}
+
+	// Spawn instances on loopback listeners.
+	type instance struct {
+		name string
+		hs   *http.Server
+		ln   net.Listener
+		srv  *adserver.Server
+	}
+	instances := make([]instance, 0, spec.Instances)
+	shutdown := func() {
+		for _, in := range instances {
+			in.hs.Close()
+		}
+	}
+	maxInflight := spec.MaxInflight
+	if maxInflight == 0 {
+		maxInflight = 64
+	}
+	reqTimeout := time.Duration(spec.RequestTimeoutMS) * time.Millisecond
+	if reqTimeout == 0 {
+		reqTimeout = 2 * time.Second
+	}
+	retryAfter := time.Duration(spec.RetryAfterMS) * time.Millisecond
+	if retryAfter == 0 {
+		retryAfter = time.Second
+	}
+	for i := 0; i < spec.Instances; i++ {
+		name := fmt.Sprintf("i%d", i)
+		srv := adserver.New(res.Platform, boot.Queries(), auction.DefaultConfig(), spec.Seed)
+		opts := adserver.Options{
+			MaxInFlight:    maxInflight,
+			RequestTimeout: reqTimeout,
+			RetryAfter:     retryAfter,
+			InstanceID:     name,
+			CacheSize:      spec.CacheSize,
+		}
+		if f, ok := faultsByBackend[i]; ok {
+			mw := inj.Backend(name, faultinject.BackendFaults{
+				Latency:       time.Duration(f.LatencyMS) * time.Millisecond,
+				LatencyJitter: time.Duration(f.JitterMS) * time.Millisecond,
+				ErrorRate:     f.ErrorRate,
+				DropRate:      f.DropRate,
+				ErrorStatus:   f.Status,
+				FailFrom:      f.FailFrom,
+				FailUntil:     f.FailUntil,
+				DropOutage:    f.DropOutage,
+			})
+			opts.Wrap = func(route string, h http.Handler) http.Handler {
+				if route == "/search" {
+					return mw(h)
+				}
+				return h
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return ScenarioReport{}, fmt.Errorf("adbench: listen instance %d: %w", i, err)
+		}
+		hs := &http.Server{Handler: srv.Handler(opts)}
+		go hs.Serve(ln)
+		instances = append(instances, instance{name: name, hs: hs, ln: ln, srv: srv})
+	}
+	defer shutdown()
+
+	// Router in front. Members are registered under their stable
+	// instance names (not ephemeral host:port), so the affinity policy's
+	// keyspace mapping is identical across runs of the same spec.
+	pol, _ := router.PolicyByName(spec.Policy)
+	rt, err := router.New(router.Options{
+		Policy:        pol,
+		Retries:       spec.Retries,
+		EjectAfter:    spec.EjectAfter,
+		Seed:          spec.Seed,
+		BackoffBase:   time.Duration(spec.BackoffBaseMS) * time.Millisecond,
+		BackoffCap:    time.Duration(spec.BackoffCapMS) * time.Millisecond,
+		ProbeInterval: time.Duration(spec.ProbeIntervalMS) * time.Millisecond,
+	})
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	for _, in := range instances {
+		if _, err := rt.AddNamedBackend(in.name, "http://"+in.ln.Addr().String()); err != nil {
+			return ScenarioReport{}, err
+		}
+	}
+	rt.StartHealth()
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ScenarioReport{}, fmt.Errorf("adbench: listen router: %w", err)
+	}
+	rhs := &http.Server{Handler: rt}
+	go rhs.Serve(rln)
+	defer rhs.Close()
+
+	// Materialize the deterministic request stream.
+	proc, _ := spec.Arrival.Process()
+	horizon := time.Duration(spec.HorizonMS) * time.Millisecond
+	sched := Schedule(proc, spec.Seed^0xa5a5a5a5a5a5a5a5, horizon, spec.MaxRequests)
+	reqs := BuildRequests(boot.Queries(), spec.Classes, sched, spec.Seed^0x5a5a5a5a5a5a5a5a)
+	logf("adbench: %d arrivals over %s via %s, policy=%s", len(reqs), horizon, proc, pol.Name())
+
+	if spec.Drain != nil {
+		d := *spec.Drain
+		timer := time.AfterFunc(time.Duration(d.AfterMS)*time.Millisecond, func() {
+			logf("adbench: draining %s", instances[d.Backend].name)
+			rt.Drain(instances[d.Backend].name)
+		})
+		defer timer.Stop()
+	}
+
+	rep := Run(context.Background(), "http://"+rln.Addr().String(), spec.Classes, reqs, RunOpts{
+		Workers: spec.Workers,
+		Timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
+	})
+
+	out := ScenarioReport{
+		Scenario:  spec.Name,
+		Seed:      spec.Seed,
+		Instances: spec.Instances,
+		Policy:    pol.Name(),
+		Arrival:   proc.String(),
+		Scheduled: len(reqs),
+		Load:      rep,
+		Router:    rt.Stats(),
+	}
+	for i, in := range instances {
+		out.Backends = append(out.Backends, statzOf(in.srv))
+		if _, ok := faultsByBackend[i]; ok {
+			bs := inj.BackendStats(in.name)
+			out.Injected = append(out.Injected, InjectedBackends{
+				Backend: i, Errors: bs.InjectedErrors, Drops: bs.DroppedConns, Delayed: bs.Delayed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// statzOf reads an instance's statz snapshot in-process (no HTTP round
+// trip, and no perturbation of its request counters).
+func statzOf(srv *adserver.Server) adserver.Statz {
+	rec := newStatzRecorder()
+	srv.ServeHTTP(rec, mustRequest("/statz"))
+	var z adserver.Statz
+	_ = json.Unmarshal(rec.body, &z)
+	return z
+}
+
+type statzRecorder struct {
+	h    http.Header
+	body []byte
+}
+
+func newStatzRecorder() *statzRecorder       { return &statzRecorder{h: make(http.Header)} }
+func (r *statzRecorder) Header() http.Header { return r.h }
+func (r *statzRecorder) WriteHeader(int)     {}
+func (r *statzRecorder) Write(p []byte) (int, error) {
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+
+func mustRequest(path string) *http.Request {
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		panic(err)
+	}
+	return req
+}
+
+// simScenarioConfig maps the scenario's bootstrap knobs onto sim.Config.
+func simScenarioConfig(spec Scenario) (sim.Config, error) {
+	var cfg sim.Config
+	switch spec.Scale {
+	case "small", "":
+		cfg = sim.SmallConfig()
+	case "medium":
+		cfg = sim.MediumConfig()
+	default:
+		return sim.Config{}, fmt.Errorf("adbench: unknown scale %q", spec.Scale)
+	}
+	cfg.Seed = spec.Seed
+	if spec.Days > 0 {
+		cfg.Days = simclock.Day(spec.Days)
+	}
+	if spec.Queries > 0 {
+		cfg.QueriesPerDay = spec.Queries
+	}
+	return cfg, nil
+}

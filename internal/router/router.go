@@ -1,0 +1,506 @@
+// Package router fronts N adserver instances with a policy-driven HTTP
+// reverse proxy: pluggable balancing (round-robin, least-loaded on the
+// admission gate's in-flight gauge, keyword-affinity via rendezvous
+// hashing so a query's cache locality survives member churn),
+// health-aware member management (eject on consecutive proxy errors or
+// failed /readyz probes, seeded-backoff re-admission reusing the
+// cluster Backoff), bounded retry of connection errors and 5xx to a
+// different backend, and per-backend admission awareness (a 429's
+// Retry-After cools that backend instead of hammering it).
+//
+// The router's client-visible failure surface is exactly its shed
+// accounting: forwarded 429s (the cluster was at admission capacity)
+// and router-generated 503s (no eligible backend). Single-backend
+// latency/error/crash injection is masked by retrying elsewhere — the
+// property the chaos suite pins.
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// State is a backend's membership state.
+type State int32
+
+const (
+	// Active backends receive traffic.
+	Active State = iota
+	// Ejected backends are out of rotation until a readyz probe passes.
+	Ejected
+	// Draining backends finish in-flight work but receive nothing new.
+	Draining
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Ejected:
+		return "ejected"
+	case Draining:
+		return "draining"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Backend is one adserver instance behind the router.
+type Backend struct {
+	Name string
+	URL  *url.URL
+	idx  int
+
+	inflight  atomic.Int64  // requests this router currently has open to it
+	reported  atomic.Int64  // in-flight count the backend last reported (statz/header)
+	capacity  atomic.Int64  // admission capacity the backend last reported
+	served    atomic.Uint64 // successful proxied responses
+	errors    atomic.Uint64 // transport errors + 5xx from this backend
+	consec    atomic.Int64  // consecutive errors; reset on any success
+	state     atomic.Int32
+	coolUntil atomic.Int64 // unix nanos; > now means a 429 told us to back off
+	ejections atomic.Uint64
+	readmits  atomic.Uint64
+
+	backoff   *cluster.Backoff
+	nextProbe atomic.Int64 // unix nanos of the next re-admission probe
+}
+
+// State returns the backend's membership state.
+func (b *Backend) State() State { return State(b.state.Load()) }
+
+// InFlight returns the router-local open-request gauge.
+func (b *Backend) InFlight() int64 { return b.inflight.Load() }
+
+// Reported returns the in-flight count the backend last self-reported.
+func (b *Backend) Reported() int64 { return b.reported.Load() }
+
+// load is the least-loaded signal: the larger of the router-local gauge
+// and the backend's self-reported in-flight count (the local gauge
+// misses traffic from other routers; the report lags ours).
+func (b *Backend) load() int64 {
+	l, r := b.inflight.Load(), b.reported.Load()
+	if r > l {
+		return r
+	}
+	return l
+}
+
+// cooling reports whether a Retry-After hint still blocks new sends.
+func (b *Backend) cooling(now time.Time) bool {
+	return b.coolUntil.Load() > now.UnixNano()
+}
+
+// Options configures a Router.
+type Options struct {
+	// Policy picks a backend per request. Defaults to RoundRobin.
+	Policy Policy
+	// Retries bounds additional attempts on a different backend after a
+	// connection error or 5xx. Defaults to 2; negative disables.
+	Retries int
+	// EjectAfter is the consecutive-error threshold that ejects a
+	// backend. Defaults to 3; <= 0 disables ejection.
+	EjectAfter int
+	// Seed drives every re-admission backoff schedule; same seed, same
+	// recovery timing.
+	Seed uint64
+	// BackoffBase/BackoffCap bound the seeded re-admission backoff.
+	// Default 50ms / 2s.
+	BackoffBase, BackoffCap time.Duration
+	// ProbeInterval is the health-loop tick: ejected members due for a
+	// probe get one readyz each tick, and active members get a statz
+	// refresh so least-loaded reads real signal. Default 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe request. Default 1s.
+	ProbeTimeout time.Duration
+	// Transport overrides the proxy transport (tests inject
+	// failure-returning transports). Defaults to http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (o Options) withDefaults() Options {
+	if o.Policy == nil {
+		o.Policy = NewRoundRobin()
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.EjectAfter == 0 {
+		o.EjectAfter = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return o
+}
+
+// Router is the policy-driven front door. Safe for concurrent use.
+type Router struct {
+	opts   Options
+	client *http.Client
+
+	mu       sync.RWMutex
+	backends []*Backend
+
+	received  atomic.Uint64 // requests accepted from clients
+	retried   atomic.Uint64 // extra proxy attempts beyond the first
+	masked    atomic.Uint64 // failures hidden from the client by a retry
+	noBackend atomic.Uint64 // router-generated 503s (no eligible member)
+	sheds     atomic.Uint64 // backend 429s forwarded to the client
+
+	health *healthLoop
+}
+
+// New builds a router over the given backend base URLs (name -> URL).
+// Backends are indexed in the order given; policies use the index for
+// deterministic tie-breaks.
+func New(opts Options, backends ...string) (*Router, error) {
+	opts = opts.withDefaults()
+	rt := &Router{
+		opts:   opts,
+		client: &http.Client{Transport: opts.Transport},
+	}
+	for _, raw := range backends {
+		if _, err := rt.AddBackend(raw); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// AddBackend registers a new member (active immediately), named by the
+// URL's host.
+func (rt *Router) AddBackend(raw string) (*Backend, error) {
+	return rt.AddNamedBackend("", raw)
+}
+
+// AddNamedBackend registers a member under a stable name of the
+// caller's choosing (empty falls back to the URL host). The name is the
+// member's routing identity: the affinity policy hashes it, so giving
+// instances stable names keeps the keyspace mapping reproducible across
+// runs even when listeners land on ephemeral ports.
+func (rt *Router) AddNamedBackend(name, raw string) (*Backend, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("router: backend url %q: %w", raw, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("router: backend url %q: need scheme and host", raw)
+	}
+	if name == "" {
+		name = u.Host
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := &Backend{Name: name, URL: u, idx: len(rt.backends)}
+	b.backoff = cluster.NewBackoff(rt.opts.Seed, b.idx, rt.opts.BackoffBase, rt.opts.BackoffCap)
+	rt.backends = append(rt.backends, b)
+	return b, nil
+}
+
+// RemoveBackend takes a member out of the set entirely. Returns false
+// for unknown names.
+func (rt *Router) RemoveBackend(name string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, b := range rt.backends {
+		if b.Name == name {
+			rt.backends = append(rt.backends[:i], rt.backends[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Backends snapshots the current member list.
+func (rt *Router) Backends() []*Backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*Backend, len(rt.backends))
+	copy(out, rt.backends)
+	return out
+}
+
+// Drain flips a member to draining: in-flight requests finish, nothing
+// new is routed to it. Returns false for unknown names.
+func (rt *Router) Drain(name string) bool { return rt.setState(name, Draining) }
+
+// Resume returns a draining member to active rotation.
+func (rt *Router) Resume(name string) bool { return rt.setState(name, Active) }
+
+func (rt *Router) setState(name string, s State) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for _, b := range rt.backends {
+		if b.Name == name {
+			b.state.Store(int32(s))
+			if s == Active {
+				b.consec.Store(0)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// eligible returns the backends a new request may be sent to, excluding
+// the already-tried set.
+func (rt *Router) eligible(now time.Time, tried map[*Backend]bool) []*Backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*Backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		if tried[b] || b.State() != Active || b.cooling(now) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// ServeHTTP proxies the request to a policy-picked backend, retrying
+// connection errors and 5xx on a different member within the retry
+// budget. 429s cool the backend and move on; when every member is
+// tried, cooling, or out, the client sees the terminal status (or a
+// router 503 when nothing was reachable at all).
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.received.Add(1)
+	key := affinityKey(r)
+	attempts := rt.opts.Retries + 1
+	tried := make(map[*Backend]bool, attempts)
+
+	var lastResp *http.Response
+	var lastBackend *Backend
+	for attempt := 0; attempt < attempts; attempt++ {
+		cands := rt.eligible(time.Now(), tried)
+		if len(cands) == 0 {
+			break
+		}
+		b := rt.opts.Policy.Pick(key, cands)
+		if b == nil {
+			break
+		}
+		tried[b] = true
+		if attempt > 0 {
+			rt.retried.Add(1)
+		}
+
+		resp, err := rt.forward(b, r)
+		if err != nil {
+			b.noteError(rt)
+			continue // connection error: try elsewhere
+		}
+		rt.noteReport(b, resp)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Admission shed: honor Retry-After for this backend only.
+			b.cool(retryAfter(resp))
+			rt.dropOrKeep(&lastResp, resp)
+			lastBackend = b
+			continue
+		case resp.StatusCode >= 500:
+			b.noteError(rt)
+			rt.dropOrKeep(&lastResp, resp)
+			lastBackend = b
+			continue
+		}
+		// Success: anything below 500 that isn't a shed is the backend's
+		// real answer (including 4xx like missing_query).
+		b.consec.Store(0)
+		b.served.Add(1)
+		if len(tried) > 1 {
+			rt.masked.Add(1)
+		}
+		if lastResp != nil {
+			discard(lastResp)
+		}
+		rt.writeResponse(w, resp, b)
+		return
+	}
+
+	if lastResp != nil {
+		// Out of options: surface the last backend answer (a 429 is shed
+		// accounting; a 5xx means every member failed).
+		if lastResp.StatusCode == http.StatusTooManyRequests {
+			rt.sheds.Add(1)
+		}
+		rt.writeResponse(w, lastResp, lastBackend)
+		return
+	}
+	rt.noBackend.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"error":"no eligible backend","code":"router_no_backend"}`+"\n")
+}
+
+// forward issues one proxy attempt, holding the backend's in-flight
+// gauge for its duration.
+func (rt *Router) forward(b *Backend, r *http.Request) (*http.Response, error) {
+	u := *b.URL
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		out.Header[k] = vs
+	}
+	b.inflight.Add(1)
+	resp, err := rt.client.Do(out)
+	b.inflight.Add(-1)
+	return resp, err
+}
+
+// writeResponse relays a backend response, stamping which member
+// answered.
+func (rt *Router) writeResponse(w http.ResponseWriter, resp *http.Response, b *Backend) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	if b != nil {
+		h.Set("X-Backend", b.Name)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// dropOrKeep retains resp as the newest terminal candidate, discarding
+// the previous one.
+func (rt *Router) dropOrKeep(last **http.Response, resp *http.Response) {
+	if *last != nil {
+		discard(*last)
+	}
+	*last = resp
+}
+
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// noteReport refreshes the backend's self-reported admission signal
+// from response headers (the adserver stamps X-Inflight/X-Capacity on
+// served responses).
+func (rt *Router) noteReport(b *Backend, resp *http.Response) {
+	if v := resp.Header.Get("X-Inflight"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			b.reported.Store(n)
+		}
+	}
+	if v := resp.Header.Get("X-Capacity"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			b.capacity.Store(n)
+		}
+	}
+}
+
+// noteError bumps the backend's error counters and ejects it once the
+// consecutive-error threshold trips.
+func (b *Backend) noteError(rt *Router) {
+	b.errors.Add(1)
+	c := b.consec.Add(1)
+	if rt.opts.EjectAfter > 0 && c >= int64(rt.opts.EjectAfter) &&
+		b.state.CompareAndSwap(int32(Active), int32(Ejected)) {
+		b.ejections.Add(1)
+		b.nextProbe.Store(time.Now().Add(b.backoff.Next()).UnixNano())
+	}
+}
+
+// cool blocks new sends to the backend for d (from a 429 Retry-After).
+func (b *Backend) cool(d time.Duration) {
+	if d <= 0 {
+		d = time.Second
+	}
+	b.coolUntil.Store(time.Now().Add(d).UnixNano())
+}
+
+// retryAfter parses a whole-seconds Retry-After header.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// affinityKey is the routing key: the search phrase when present (so
+// identical queries pin to the same member's caches), else the path.
+func affinityKey(r *http.Request) string {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q
+	}
+	return r.URL.Path
+}
+
+// Stats is a point-in-time snapshot of router and member counters.
+type Stats struct {
+	Policy    string         `json:"policy"`
+	Received  uint64         `json:"received"`
+	Retried   uint64         `json:"retried"`
+	Masked    uint64         `json:"masked"`
+	NoBackend uint64         `json:"no_backend"`
+	Sheds     uint64         `json:"sheds"`
+	Backends  []BackendStats `json:"backends"`
+}
+
+// BackendStats is one member's counters.
+type BackendStats struct {
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Served    uint64 `json:"served"`
+	Errors    uint64 `json:"errors"`
+	Ejections uint64 `json:"ejections"`
+	Readmits  uint64 `json:"readmits"`
+	InFlight  int64  `json:"inflight"`
+	Reported  int64  `json:"reported"`
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() Stats {
+	s := Stats{
+		Policy:    rt.opts.Policy.Name(),
+		Received:  rt.received.Load(),
+		Retried:   rt.retried.Load(),
+		Masked:    rt.masked.Load(),
+		NoBackend: rt.noBackend.Load(),
+		Sheds:     rt.sheds.Load(),
+	}
+	for _, b := range rt.Backends() {
+		s.Backends = append(s.Backends, BackendStats{
+			Name:      b.Name,
+			State:     b.State().String(),
+			Served:    b.served.Load(),
+			Errors:    b.errors.Load(),
+			Ejections: b.ejections.Load(),
+			Readmits:  b.readmits.Load(),
+			InFlight:  b.inflight.Load(),
+			Reported:  b.reported.Load(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,290 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// okBackend serves 200 with a recognizable body on every route.
+func okBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// statusBackend always answers the given status.
+func statusBackend(t *testing.T, status int, hdr map[string]string) *httptest.Server {
+	t.Helper()
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for k, v := range hdr {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(status)
+	}))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// deadAddr returns a loopback URL with nothing listening on it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func doGet(t *testing.T, rt *Router, path string) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	return rec.Result()
+}
+
+// TestRetryMasksConnectionError pins the core masking contract: a dead
+// member costs a retry, never a client-visible error.
+func TestRetryMasksConnectionError(t *testing.T) {
+	ok := okBackend(t, "alive")
+	rt, err := New(Options{Seed: 1}, deadAddr(t), ok.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doGet(t, rt, "/search?q=x")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "alive" {
+		t.Fatalf("body = %q", body)
+	}
+	s := rt.Stats()
+	if s.Masked != 1 || s.Retried != 1 {
+		t.Fatalf("masked=%d retried=%d, want 1/1", s.Masked, s.Retried)
+	}
+	if s.Backends[0].Errors != 1 {
+		t.Fatalf("dead backend errors = %d, want 1", s.Backends[0].Errors)
+	}
+}
+
+// TestRetryMasks5xx: a 500-class answer is retried on another member and
+// the failing response is discarded.
+func TestRetryMasks5xx(t *testing.T) {
+	bad := statusBackend(t, http.StatusInternalServerError, nil)
+	ok := okBackend(t, "good")
+	rt, err := New(Options{Seed: 1}, bad.URL, ok.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doGet(t, rt, "/search?q=x")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Backend"); got != rt.Backends()[1].Name {
+		t.Fatalf("X-Backend = %q, want healthy member", got)
+	}
+}
+
+// TestEjectAfterConsecutiveErrors pins the ejection threshold and that
+// an ejected member stops receiving traffic.
+func TestEjectAfterConsecutiveErrors(t *testing.T) {
+	bad := statusBackend(t, http.StatusBadGateway, nil)
+	ok := okBackend(t, "good")
+	rt, err := New(Options{Seed: 7, EjectAfter: 2}, bad.URL, ok.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if resp := doGet(t, rt, "/search?q=x"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	b := rt.Backends()[0]
+	if b.State() != Ejected {
+		t.Fatalf("bad backend state = %v, want ejected", b.State())
+	}
+	if b.ejections.Load() != 1 {
+		t.Fatalf("ejections = %d, want 1", b.ejections.Load())
+	}
+	// Ejected member is out of every candidate set.
+	served := b.served.Load()
+	for i := 0; i < 3; i++ {
+		doGet(t, rt, "/search?q=x")
+	}
+	if b.served.Load() != served {
+		t.Fatal("ejected backend still served traffic")
+	}
+}
+
+// TestRetryAfterCoolsBackend: a 429 takes the member out of rotation
+// for its Retry-After window without counting as an error.
+func TestRetryAfterCoolsBackend(t *testing.T) {
+	shed := statusBackend(t, http.StatusTooManyRequests, map[string]string{"Retry-After": "1"})
+	ok := okBackend(t, "good")
+	rt, err := New(Options{Seed: 1}, shed.URL, ok.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin sends the first request to the shedding member; the
+	// retry lands on the healthy one.
+	if resp := doGet(t, rt, "/search?q=x"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after cooling retry", resp.StatusCode)
+	}
+	b := rt.Backends()[0]
+	if !b.cooling(time.Now()) {
+		t.Fatal("429 did not cool the backend")
+	}
+	if b.errors.Load() != 0 {
+		t.Fatalf("shed counted as error: %d", b.errors.Load())
+	}
+	// While cooling, the member is ineligible even before being tried.
+	if got := rt.eligible(time.Now(), map[*Backend]bool{}); len(got) != 1 || got[0].Name == b.Name {
+		t.Fatalf("cooling member still eligible: %v", got)
+	}
+}
+
+// TestShedForwardedWhenSaturated: when every member sheds, the client
+// sees the 429 (shed accounting, not an invented error).
+func TestShedForwardedWhenSaturated(t *testing.T) {
+	a := statusBackend(t, http.StatusTooManyRequests, map[string]string{"Retry-After": "1"})
+	b := statusBackend(t, http.StatusTooManyRequests, map[string]string{"Retry-After": "1"})
+	rt, err := New(Options{Seed: 1}, a.URL, b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doGet(t, rt, "/search?q=x")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 forwarded", resp.StatusCode)
+	}
+	if rt.Stats().Sheds != 1 {
+		t.Fatalf("sheds = %d, want 1", rt.Stats().Sheds)
+	}
+}
+
+// TestDrainStopsNewTraffic: a draining member receives nothing new and
+// Resume puts it back.
+func TestDrainStopsNewTraffic(t *testing.T) {
+	a := okBackend(t, "a")
+	b := okBackend(t, "b")
+	rt, err := New(Options{Seed: 1}, a.URL, b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := rt.Backends()[0]
+	if !rt.Drain(drained.Name) {
+		t.Fatal("Drain returned false for known member")
+	}
+	for i := 0; i < 4; i++ {
+		resp := doGet(t, rt, "/search?q=x")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d during drain", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Backend"); got == drained.Name {
+			t.Fatal("draining member received new traffic")
+		}
+	}
+	if drained.served.Load() != 0 {
+		t.Fatal("draining member served")
+	}
+	if !rt.Resume(drained.Name) {
+		t.Fatal("Resume returned false")
+	}
+	for i := 0; i < 2; i++ {
+		doGet(t, rt, "/search?q=x")
+	}
+	if drained.served.Load() == 0 {
+		t.Fatal("resumed member never served again")
+	}
+}
+
+// TestNoEligibleBackend503: with every member out, the router answers
+// its own 503 with a machine-readable code and Retry-After.
+func TestNoEligibleBackend503(t *testing.T) {
+	a := okBackend(t, "a")
+	rt, err := New(Options{Seed: 1}, a.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain(rt.Backends()[0].Name)
+	resp := doGet(t, rt, "/search?q=x")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatal("router 503 missing Retry-After")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if want := "router_no_backend"; !contains(string(body), want) {
+		t.Fatalf("body %q missing %q", body, want)
+	}
+	if rt.Stats().NoBackend != 1 {
+		t.Fatalf("no_backend = %d, want 1", rt.Stats().NoBackend)
+	}
+}
+
+// TestNoteReportReadsAdmissionHeaders: served responses refresh the
+// member's self-reported load signal.
+func TestNoteReportReadsAdmissionHeaders(t *testing.T) {
+	a := statusBackend(t, http.StatusOK, map[string]string{"X-Inflight": "7", "X-Capacity": "64"})
+	rt, err := New(Options{Seed: 1}, a.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doGet(t, rt, "/search?q=x")
+	b := rt.Backends()[0]
+	if b.Reported() != 7 || b.capacity.Load() != 64 {
+		t.Fatalf("reported=%d capacity=%d, want 7/64", b.Reported(), b.capacity.Load())
+	}
+}
+
+// TestAddRemoveBackend covers member-list management.
+func TestAddRemoveBackend(t *testing.T) {
+	a := okBackend(t, "a")
+	rt, err := New(Options{Seed: 1}, a.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddBackend("not a url ::"); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+	if _, err := rt.AddBackend("nohost"); err == nil {
+		t.Fatal("schemeless URL accepted")
+	}
+	b := okBackend(t, "b")
+	nb, err := rt.AddBackend(b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Backends()) != 2 {
+		t.Fatalf("backends = %d, want 2", len(rt.Backends()))
+	}
+	if !rt.RemoveBackend(nb.Name) {
+		t.Fatal("RemoveBackend returned false")
+	}
+	if rt.RemoveBackend("ghost:1") {
+		t.Fatal("removed unknown member")
+	}
+	if len(rt.Backends()) != 1 {
+		t.Fatalf("backends = %d after remove, want 1", len(rt.Backends()))
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package testutil
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type benchRec struct {
+	Bench string `json:"bench"`
+	N     int    `json:"n"`
+}
+
+func readRecords(t *testing.T, path string) []benchRec {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRec
+	if err := json.Unmarshal(b, &recs); err != nil {
+		t.Fatalf("bench file not an array: %v\n%s", err, b)
+	}
+	return recs
+}
+
+func TestAppendBenchRecordCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := AppendBenchRecord(path, benchRec{Bench: "a", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchRecord(path, benchRec{Bench: "b", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recs := readRecords(t, path)
+	if len(recs) != 2 || recs[0].Bench != "a" || recs[1].N != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestAppendBenchRecordMigratesLegacyObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	legacy := `{"bench": "cluster", "n": 9}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchRecord(path, benchRec{Bench: "router", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recs := readRecords(t, path)
+	if len(recs) != 2 || recs[0].Bench != "cluster" || recs[0].N != 9 || recs[1].Bench != "router" {
+		t.Fatalf("migration mangled records: %+v", recs)
+	}
+}
+
+func TestAppendBenchRecordRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchRecord(path, benchRec{}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
