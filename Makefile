@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash crash-cluster verify golden bench bench-serving bench-dayloop bench-cluster bench-router fuzz-smoke
+.PHONY: build vet test race chaos crash crash-cluster crash-coordinator verify golden bench bench-serving bench-dayloop bench-cluster bench-router fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,22 @@ crash:
 crash-cluster:
 	$(GO) test -race -count=1 ./internal/cluster
 
+# crash-coordinator is the disaster-recovery proof: a real fraudcluster
+# coordinator subprocess is SIGKILLed — together with its whole worker
+# process group — at seeded manifest-barrier days, then the run is
+# finished with `fraudcluster -resume` and must print a digest
+# byte-identical to an uninterrupted run; a double-kill case repeats the
+# disaster mid-resume. The lineage corruption sweep (TestCrashLineage*,
+# part of `make crash`) is the matching checkpoint-damage proof.
+crash-coordinator:
+	$(GO) test -race -count=1 -run 'TestCrashCoordinator' ./cmd/fraudcluster
+
 # verify is the full pre-merge gate: static checks, build, the whole
 # suite (goldens, determinism, invariants, smoke tests, chaos) under the
-# race detector, the crash-safety sweeps (single-process and cluster),
-# and a short corpus-plus-exploration pass over every fuzz target.
-verify: vet build race chaos crash crash-cluster fuzz-smoke
+# race detector, the crash-safety sweeps (single-process, cluster, and
+# coordinator disaster recovery), and a short corpus-plus-exploration
+# pass over every fuzz target.
+verify: vet build race chaos crash crash-cluster crash-coordinator fuzz-smoke
 
 # golden regenerates every golden fixture (sim digests, per-experiment
 # report outputs, the façade quickstart). Only the packages that define
@@ -102,4 +113,6 @@ fuzz-smoke:
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzReadLog -fuzztime 5s
 	$(GO) test ./internal/eventlog -run '^$$' -fuzz FuzzRecoverDir -fuzztime 5s
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzRestoreCheckpoint -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzLineageLoad -fuzztime 5s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeManifest -fuzztime 5s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzSubStreams -fuzztime 5s

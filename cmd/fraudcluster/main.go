@@ -9,11 +9,26 @@
 //
 //	fraudcluster [-shards N] [-dir DIR] [-scale small|medium|full]
 //	             [-seed N] [-days N] [-queries N] [-regs F]
-//	             [-checkpoint-every N] [-sync none|rotate|interval]
+//	             [-checkpoint-every N] [-checkpoint-retain K]
+//	             [-sync none|rotate|interval]
 //	             [-hb-timeout D] [-barrier N] [-max-restarts N] [-v]
 //	             [-faults SHARD=SPEC;...] [-kill SHARD@N,...]
 //
+//	fraudcluster -resume DIR [-checkpoint-retain K] [-hb-interval D]
+//	             [-hb-timeout D] [-barrier N] [-max-restarts N] [-v]
+//
 //	fraudcluster worker <worker flags>   (internal; spawned by the coordinator)
+//
+// The coordinator persists a CRC-framed cluster manifest in the run dir
+// (rewritten atomically at every day barrier), so a run whose
+// coordinator dies — SIGKILL, power loss, the whole box — restarts with
+// -resume DIR: the run's shape comes from the manifest (shape flags
+// cannot be overridden, exactly like `fraudsim -resume`), shard logs
+// are healed, and every worker restores from its checkpoint lineage.
+// The finished run's merged digest is byte-identical to an
+// uninterrupted one. Supervision knobs (-hb-*, -barrier, -max-restarts,
+// -checkpoint-retain, -v) don't affect the trajectory and may be
+// changed on resume.
 //
 // The chaos levers: -faults attaches a process fault profile
 // (faultinject.ParseProcFaults syntax, e.g. "0=kill@msg=5..40") to a
@@ -24,6 +39,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -64,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	queries := fs.Int("queries", 0, "override queries per day (0 = scale default)")
 	regs := fs.Float64("regs", 0, "override registrations per day (0 = scale default)")
 	ckptEvery := fs.Int("checkpoint-every", 8, "each worker checkpoints every N simulated days")
+	ckptRetain := fs.Int("checkpoint-retain", sim.DefaultRetain, "checkpoint lineage depth per worker (last K kept)")
 	syncMode := fs.String("sync", "rotate", "event log fsync policy: none, rotate, or interval")
 	hbInterval := fs.Duration("hb-interval", 500*time.Millisecond, "worker heartbeat interval")
 	hbTimeout := fs.Duration("hb-timeout", 5*time.Second, "silence after which a worker is declared dead")
@@ -72,14 +90,73 @@ func run(args []string, stdout, stderr io.Writer) error {
 	verbose := fs.Bool("v", false, "print supervisor narration")
 	faultSpecs := fs.String("faults", "", "initial fault profiles, SHARD=SPEC[,SHARD=SPEC...] (chaos testing)")
 	killSpecs := fs.String("kill", "", "coordinator kill points, SHARD@NREPORTS[,...] (chaos testing)")
+	resume := fs.String("resume", "", "resume an interrupted cluster run from its working directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir == "" {
-		return fmt.Errorf("fraudcluster: -dir DIR is required")
-	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
+
+	var spec cluster.WorkerSpec
+	if *resume != "" {
+		// The run's shape lives in the manifest; flags that would change
+		// the trajectory or the on-disk layout are refused, exactly like
+		// `fraudsim -resume`. Supervision knobs remain overridable.
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shards", "dir", "scale", "seed", "days", "queries", "regs", "checkpoint-every", "sync":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("fraudcluster: %s cannot be combined with -resume (run parameters come from the cluster manifest)",
+				strings.Join(bad, ", "))
+		}
+		m, err := cluster.ReadManifest(*resume)
+		if err != nil {
+			return fmt.Errorf("fraudcluster: resume %s: %w", *resume, err)
+		}
+		spec = cluster.WorkerSpec{
+			Shards:          m.Spec.Shards,
+			Dir:             *resume,
+			Scale:           m.Spec.Scale,
+			Seed:            m.Spec.Seed,
+			Days:            m.Spec.Days,
+			Queries:         m.Spec.Queries,
+			Regs:            m.Spec.Regs,
+			Legit:           m.Spec.Legit,
+			CheckpointEvery: m.Spec.CheckpointEvery,
+			Retain:          *ckptRetain,
+			HBInterval:      *hbInterval,
+			Sync:            m.Spec.Sync,
+		}
+		// Shard dirs may legitimately be missing (a worker that died
+		// before writing anything restarts fresh), but extra shard dirs
+		// mean the manifest and the directory disagree.
+		if err := cluster.ValidateShardDirs(*resume, m.Spec.Shards); err != nil && !errors.Is(err, cluster.ErrShardLogMissing) {
+			return fmt.Errorf("fraudcluster: resume %s: %w", *resume, err)
+		}
+		fmt.Fprintf(stderr, "fraudcluster: resuming %d shards in %s (manifest barrier day %d)\n",
+			m.Spec.Shards, *resume, m.Barrier)
+	} else {
+		if *dir == "" {
+			return fmt.Errorf("fraudcluster: -dir DIR is required")
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		spec = cluster.WorkerSpec{
+			Shards:          *shards,
+			Dir:             *dir,
+			Scale:           *scale,
+			Seed:            *seed,
+			Days:            *days,
+			Queries:         *queries,
+			Regs:            *regs,
+			CheckpointEvery: *ckptEvery,
+			Retain:          *ckptRetain,
+			HBInterval:      *hbInterval,
+			Sync:            *syncMode,
+		}
 	}
 
 	faults, err := parseFaultMap(*faultSpecs)
@@ -95,26 +172,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	spec := cluster.WorkerSpec{
-		Shards:          *shards,
-		Dir:             *dir,
-		Scale:           *scale,
-		Seed:            *seed,
-		Days:            *days,
-		Queries:         *queries,
-		Regs:            *regs,
-		CheckpointEvery: *ckptEvery,
-		HBInterval:      *hbInterval,
-		Sync:            *syncMode,
-	}
 	cfg := cluster.Config{
-		Shards:        *shards,
+		Shards:        spec.Shards,
 		Spec:          spec,
 		Spawn:         &cluster.ExecSpawner{Command: exe, BaseArgs: []string{"worker"}, Spec: spec, Stderr: stderr},
 		HBTimeout:     *hbTimeout,
 		BarrierWindow: *barrier,
 		MaxRestarts:   *maxRestarts,
-		Seed:          *seed,
+		Seed:          spec.Seed,
+		Resume:        *resume != "",
 		Faults:        faults,
 		Kills:         kills,
 	}
@@ -126,7 +192,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printResult(stdout, *shards, res)
+	printResult(stdout, spec.Shards, res)
 	return nil
 }
 

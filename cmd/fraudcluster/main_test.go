@@ -17,6 +17,13 @@ func TestMain(m *testing.M) {
 		main()
 		os.Exit(0)
 	}
+	// FRAUDCLUSTER_COORD turns the test binary into the full fraudcluster
+	// CLI — coordinator and all — so the SIGKILL harness can murder a
+	// real coordinator process mid-run (see crash_test.go).
+	if os.Getenv("FRAUDCLUSTER_COORD") == "1" {
+		main()
+		os.Exit(0)
+	}
 	os.Exit(m.Run())
 }
 

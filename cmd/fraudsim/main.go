@@ -18,14 +18,18 @@
 //
 // With -checkpoint-every N the simulator writes a crash-safe snapshot to
 // the -checkpoint file every N simulated days (aligned with an event-log
-// segment rotation when -eventlog is on). A killed run restarts with
-// -resume PATH: the event log is recovered and truncated to the
-// checkpoint's segment boundary, the simulation state is restored, and
-// the run continues on the exact deterministic trajectory of an
-// uninterrupted run. Run parameters (-scale, -seed, -days, -queries,
-// -regs) come from the checkpoint and cannot be overridden on resume;
-// -workers CAN be overridden on resume — worker count does not affect
-// the trajectory, so a run may resume on a differently-sized machine.
+// segment rotation when -eventlog is on), keeping the last
+// -checkpoint-retain snapshots as a fallback lineage (PATH, PATH.1,
+// PATH.2, ...). A killed run restarts with -resume PATH: the newest
+// valid checkpoint in the lineage is restored — a checkpoint that went
+// bad on disk is quarantined as PATH.corrupt (evidence, never deleted)
+// and the next-older snapshot is used, costing only re-simulated days —
+// then the event log is recovered and truncated to that checkpoint's
+// segment boundary and the run continues on the exact deterministic
+// trajectory of an uninterrupted run. Run parameters (-scale, -seed,
+// -days, -queries, -regs) come from the checkpoint and cannot be
+// overridden on resume; -workers and -checkpoint-retain CAN be
+// overridden on resume — neither affects the trajectory.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (CPU over
 // the whole simulation loop; heap at exit, after a final GC) for
@@ -71,7 +75,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	syncMode := fs.String("sync", "rotate", "event log fsync policy: none, rotate, or interval")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file to write (with -checkpoint-every)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "write a checkpoint every N simulated days (0 = never)")
-	resume := fs.String("resume", "", "resume a killed run from this checkpoint file")
+	ckptRetain := fs.Int("checkpoint-retain", sim.DefaultRetain, "keep the last K checkpoints as a corruption-fallback lineage")
+	resume := fs.String("resume", "", "resume a killed run from this checkpoint file (or its lineage)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -112,7 +117,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("fraudsim: %s cannot be combined with -resume (run parameters come from the checkpoint)",
 				strings.Join(bad, ", "))
 		}
-		c, err := sim.ReadCheckpoint(*resume)
+		// Restore walks the checkpoint lineage newest→oldest: a file that
+		// fails validation is quarantined as .corrupt and the next-older
+		// snapshot is used. An all-corrupt lineage is a hard error — the
+		// operator named this run explicitly; silently starting over
+		// would discard it.
+		c, lrep, err := sim.Lineage{Path: *resume, Retain: *ckptRetain}.Load()
+		if note := lrep.String(); note != "" {
+			fmt.Fprintf(stderr, "checkpoint lineage: %s\n", note)
+		}
 		if err != nil {
 			return fmt.Errorf("fraudsim: %w", err)
 		}
@@ -151,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *verbose {
 			s.SetProgress(func(line string) { fmt.Fprintln(stderr, line) })
 		}
-		fmt.Fprintf(stdout, "resumed from %s at day %d\n", *resume, s.Day())
+		fmt.Fprintf(stdout, "resumed from %s at day %d\n", lrep.From, s.Day())
 	} else {
 		cfg, err := configFor(*scale)
 		if err != nil {
@@ -200,7 +213,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	startDay := s.Day()
 	for {
 		if *ckptEvery > 0 && s.Day() > startDay && int(s.Day())%*ckptEvery == 0 {
-			if err := writeCheckpoint(s, dw, *ckptPath, logBase); err != nil {
+			if err := writeCheckpoint(s, dw, sim.Lineage{Path: *ckptPath, Retain: *ckptRetain}, logBase); err != nil {
 				return fmt.Errorf("fraudsim: checkpoint: %w", err)
 			}
 		}
@@ -271,8 +284,9 @@ func exportDatasets(dir string, res *sim.Result) error {
 }
 
 // writeCheckpoint rotates the event log to a segment boundary and
-// snapshots the simulation against it.
-func writeCheckpoint(s *sim.Sim, dw *eventlog.DirWriter, path string, logBase uint64) error {
+// snapshots the simulation against it, as the lineage's newest
+// generation.
+func writeCheckpoint(s *sim.Sim, dw *eventlog.DirWriter, lin sim.Lineage, logBase uint64) error {
 	var pos sim.LogPosition
 	if dw != nil {
 		if err := dw.Rotate(); err != nil {
@@ -280,7 +294,7 @@ func writeCheckpoint(s *sim.Sim, dw *eventlog.DirWriter, path string, logBase ui
 		}
 		pos = sim.LogPosition{NextSegment: dw.NextSegment(), Events: logBase + dw.Events()}
 	}
-	return s.WriteCheckpointFile(path, pos)
+	return s.SaveCheckpointLineage(lin, pos)
 }
 
 func syncPolicyFor(mode string) (eventlog.SyncPolicy, error) {

@@ -7,10 +7,11 @@
 //	logtool cat [-json] [-from N] [-to N] [-type NAME[,NAME...]] PATH...
 //	logtool verify [-q] PATH...
 //	logtool repair [-dry-run] DIR...
+//	logtool ckpt FILE...
 //
 // Each PATH is either a log directory (its events-*.evlog segments are
 // read in write order) or a single segment file. repair takes log
-// directories only.
+// directories only; ckpt takes FRSNAP checkpoint files.
 //
 //	stat    per-type record counts, day range, bytes, segment count;
 //	        with several paths (e.g. a cluster's shard-* log dirs) each
@@ -23,6 +24,10 @@
 //	repair  recover a crash-torn log directory: truncate the torn tail
 //	        to the last valid frame, finalize the unsealed segment, and
 //	        rewrite the manifest (-dry-run reports without touching it)
+//	ckpt    inspect checkpoint files — a lineage like shard-0.frsnap
+//	        shard-0.frsnap.1 shard-0.frsnap.2, or a quarantined
+//	        *.corrupt — printing version, day, phase cursor, log
+//	        position, and CRC state per file; exit 1 if any is invalid
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/eventlog"
+	"repro/internal/sim"
 	"repro/internal/simclock"
 )
 
@@ -58,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runVerify(rest, stdout, stderr)
 	case "repair":
 		return runRepair(rest, stdout, stderr)
+	case "ckpt":
+		return runCkpt(rest, stdout, stderr)
 	default:
 		return fmt.Errorf("logtool: unknown command %q\n\n%s", cmd, usage)
 	}
@@ -67,7 +75,8 @@ const usage = `usage:
   logtool stat PATH...
   logtool cat [-json] [-from N] [-to N] [-type NAME[,NAME...]] PATH...
   logtool verify [-q] PATH...
-  logtool repair [-dry-run] DIR...`
+  logtool repair [-dry-run] DIR...
+  logtool ckpt FILE...`
 
 func usageError() error { return fmt.Errorf("logtool: no command\n\n%s", usage) }
 
@@ -434,6 +443,46 @@ func runRepair(args []string, stdout, stderr io.Writer) error {
 	}
 	if *dryRun && needed > 0 {
 		return fmt.Errorf("logtool: %d of %d directories need repair (dry run, nothing changed)", needed, len(dirs))
+	}
+	return nil
+}
+
+// runCkpt triages FRSNAP checkpoint files: the disaster-recovery
+// runbook's first move when a resume refuses a lineage is to see which
+// generations are intact without gob-decoding anything by hand. Every
+// file is reported even after one is found bad; any invalid file makes
+// the command exit nonzero.
+func runCkpt(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("logtool ckpt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("logtool: no checkpoint files given\n\n%s", usage)
+	}
+	bad := 0
+	for _, p := range paths {
+		info, err := sim.InspectCheckpoint(p)
+		if err != nil {
+			return fmt.Errorf("logtool: %w", err)
+		}
+		if !info.Valid {
+			bad++
+			if info.Version < 0 {
+				fmt.Fprintf(stdout, "%s: CORRUPT (%d bytes, not a checkpoint): %s\n", p, info.Bytes, info.Err)
+			} else {
+				fmt.Fprintf(stdout, "%s: CORRUPT (%d bytes, version %d): %s\n", p, info.Bytes, info.Version, info.Err)
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok (version %d, %d bytes)  day %d/%d  phase %s  log segment %d, %d events  seed %d\n",
+			p, info.Version, info.Bytes, info.Day, info.Days, info.Phase,
+			info.Log.NextSegment, info.Log.Events, info.Seed)
+	}
+	if bad > 0 {
+		return fmt.Errorf("logtool: %d of %d checkpoint files invalid", bad, len(paths))
 	}
 	return nil
 }

@@ -16,9 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/eventlog"
 )
 
 // Proc is one spawned worker process as the coordinator sees it:
@@ -74,6 +76,12 @@ type Config struct {
 	BackoffCap  time.Duration
 	// Seed seeds restart-backoff jitter (per shard substreams).
 	Seed uint64
+
+	// Resume restarts an interrupted run from the cluster manifest in
+	// Spec.Dir: the manifest must exist, must not be Done, and its run
+	// spec must match Spec's exactly (no shape overrides). Without
+	// Resume, Run refuses a directory that already holds a manifest.
+	Resume bool
 
 	// Faults maps shard → process fault profile for the initial spawn.
 	Faults map[int]string
@@ -184,6 +192,55 @@ func Run(cfg Config) (*Result, error) {
 	}
 	horizon := int(simCfg.Days) - 1
 
+	// The manifest makes the run a durable artifact: written before the
+	// first spawn, rewritten (atomically, fsync'd) at every spawn and
+	// every barrier advance, finalized with the verified digest.
+	runSpec := cfg.Spec.RunSpec()
+	man := &Manifest{Spec: runSpec, Barrier: -1, Shards: make([]ShardStatus, cfg.Shards)}
+	for i := range man.Shards {
+		man.Shards[i].Completed = -1
+	}
+	if cfg.Resume {
+		prev, err := ReadManifest(cfg.Spec.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resume %s: %w", cfg.Spec.Dir, err)
+		}
+		if prev.Done {
+			return nil, fmt.Errorf("cluster: run in %s already completed; nothing to resume", cfg.Spec.Dir)
+		}
+		if prev.Spec != runSpec {
+			return nil, fmt.Errorf("cluster: resume refused: run spec differs from the manifest\n  manifest: %+v\n  caller:   %+v",
+				prev.Spec, runSpec)
+		}
+		man = prev
+		// Heal every shard log the dead cluster left behind before any
+		// worker opens it; a shard dir that never materialized means that
+		// worker starts fresh, which the worker handles itself.
+		for k := 0; k < cfg.Shards; k++ {
+			logDir := ShardLogDir(cfg.Spec.Dir, k)
+			if _, err := os.Stat(logDir); os.IsNotExist(err) {
+				continue
+			}
+			if rep, err := eventlog.RecoverDir(logDir, true); err != nil {
+				return nil, fmt.Errorf("cluster: resume: recover shard %d log: %w", k, err)
+			} else if !rep.Healthy {
+				logf("cluster: resume: shard %d log repaired: %s", k, rep.String())
+			}
+		}
+		logf("cluster: resuming %d shards from manifest (last barrier day %d)", cfg.Shards, man.Barrier)
+	} else if _, err := os.Stat(ManifestPath(cfg.Spec.Dir)); err == nil {
+		return nil, fmt.Errorf("cluster: %s already holds a cluster manifest; resume it or use a fresh directory", cfg.Spec.Dir)
+	}
+	persist := func() error {
+		if err := WriteManifest(cfg.Spec.Dir, man); err != nil {
+			return fmt.Errorf("cluster: manifest: %w", err)
+		}
+		return nil
+	}
+	if err := persist(); err != nil {
+		return nil, err
+	}
+
 	start := time.Now()
 	events := make(chan event, 4096)
 	quit := make(chan struct{})
@@ -215,6 +272,13 @@ func Run(cfg Config) (*Result, error) {
 		st.gen++
 		st.respawning = false
 		st.sentUntil = -2
+		// Record the incarnation durably before it exists, so a manifest
+		// generation count never understates how many processes may have
+		// touched the shard's files.
+		man.Shards[k].Gen++
+		if err := persist(); err != nil {
+			return err
+		}
 		p, err := cfg.Spawn.Spawn(k, faults)
 		if err != nil {
 			return fmt.Errorf("cluster: spawn shard %d: %w", k, err)
@@ -243,20 +307,38 @@ func Run(cfg Config) (*Result, error) {
 
 	// barrier recomputes the grant horizon and pushes it to every live
 	// worker that hasn't seen it yet.
-	barrier := func() int {
+	minDone := func() int {
 		min := shards[0].completed
 		for _, st := range shards[1:] {
 			if st.completed < min {
 				min = st.completed
 			}
 		}
-		until := min + cfg.BarrierWindow
+		return min
+	}
+	barrier := func() int {
+		until := minDone() + cfg.BarrierWindow
 		if until > horizon {
 			until = horizon
 		}
 		return until
 	}
-	grant := func() {
+	grant := func() error {
+		// Persist the barrier before granting past it: the manifest's
+		// barrier day is monotone and never ahead of what every shard has
+		// durably reported, so a coordinator that dies right after this
+		// write resumes without losing a granted day.
+		if b := minDone(); b > man.Barrier {
+			man.Barrier = b
+			for k, st := range shards {
+				if st.completed > man.Shards[k].Completed {
+					man.Shards[k].Completed = st.completed
+				}
+			}
+			if err := persist(); err != nil {
+				return err
+			}
+		}
 		until := barrier()
 		for k, st := range shards {
 			if st.proc == nil || st.done || st.sentUntil >= until {
@@ -270,6 +352,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			st.sentUntil = until
 		}
+		return nil
 	}
 
 	for k := range shards {
@@ -350,6 +433,7 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			st.restarts++
+			man.Shards[e.shard].Restarts++ // persisted with the respawn's manifest write
 			if st.restarts > cfg.MaxRestarts {
 				return fail(fmt.Errorf("cluster: shard %d died %d times (last exit: %v); giving up",
 					e.shard, st.restarts, e.err))
@@ -378,8 +462,19 @@ func Run(cfg Config) (*Result, error) {
 			st.mon.Observe(time.Now())
 			switch e.msg.T {
 			case MsgHello:
+				// A worker that restored a checkpoint announces its start
+				// day; every earlier day is durably behind it (snapshot +
+				// sealed log), so seed the barrier with it. Without this, a
+				// resumed coordinator would grant from day 0 while every
+				// worker waits at its checkpoint day — a deadlock the
+				// progress timeout would turn into a failed resume.
+				if d := e.msg.Day - 1; d > st.completed {
+					st.completed = d
+				}
 				logf("cluster: shard %d hello (pid %d, starting day %d)", e.shard, e.msg.PID, e.msg.Day)
-				grant()
+				if err := grant(); err != nil {
+					return fail(err)
+				}
 			case MsgHB:
 				// Observe above is the whole job.
 			case MsgDay:
@@ -397,14 +492,18 @@ func Run(cfg Config) (*Result, error) {
 						continue
 					}
 				}
-				grant()
+				if err := grant(); err != nil {
+					return fail(err)
+				}
 			case MsgDone:
 				st.done = true
 				st.digest = e.msg.Digest
 				st.events = e.msg.Events
 				st.mon.Disarm()
 				logf("cluster: shard %d done (%d events)", e.shard, e.msg.Events)
-				grant() // completion may move the barrier for the rest
+				if err := grant(); err != nil { // completion may move the barrier for the rest
+					return fail(err)
+				}
 			case MsgFatal:
 				return fail(fmt.Errorf("cluster: shard %d fatal: %s", e.shard, e.msg.Err))
 			}
@@ -426,6 +525,20 @@ func Run(cfg Config) (*Result, error) {
 	if merged := Fingerprint(col); merged != digest {
 		return nil, fmt.Errorf("cluster: merged-replay digest does not match the workers' live digest\n  live:   %s\n  merged: %s",
 			digest, merged)
+	}
+
+	// Finalize the manifest: the run is complete and digest-verified, so
+	// a later -resume has something honest to refuse.
+	man.Done = true
+	man.Digest = digest
+	man.Barrier = horizon
+	for k, st := range shards {
+		if st.completed > man.Shards[k].Completed {
+			man.Shards[k].Completed = st.completed
+		}
+	}
+	if err := persist(); err != nil {
+		return nil, err
 	}
 
 	restarts := make([]int, cfg.Shards)

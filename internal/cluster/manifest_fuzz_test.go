@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeManifest hammers the manifest decoder with arbitrary bytes.
+// Invariants: no panic, and anything that decodes survives an
+// encode/decode round trip unchanged. (Byte-identity with the input is
+// deliberately not asserted: a CRC-valid frame may carry non-canonical
+// JSON — reordered keys, whitespace — that decodes fine but re-encodes
+// canonically.)
+func FuzzDecodeManifest(f *testing.F) {
+	valid, err := EncodeManifest(testManifest(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn rewrite
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	wrongVer := bytes.Clone(valid)
+	wrongVer[6] = 9
+	f.Add(wrongVer)
+	f.Add([]byte{})
+	f.Add([]byte("FRCMAN"))
+	// CRC-valid frame around hostile JSON: huge shard count, no records.
+	hostile, err := EncodeManifest(&Manifest{
+		Spec:    RunSpec{Shards: 2, Scale: "small", Days: 4},
+		Barrier: 1,
+		Shards:  make([]ShardStatus, 2),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("decoded manifest failed to re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+		if m2.Spec != m.Spec || m2.Barrier != m.Barrier || m2.Done != m.Done ||
+			m2.Digest != m.Digest || len(m2.Shards) != len(m.Shards) {
+			t.Errorf("round trip changed the manifest: %+v -> %+v", m, m2)
+		}
+		for k := range m.Shards {
+			if m2.Shards[k] != m.Shards[k] {
+				t.Errorf("round trip changed shard %d: %+v -> %+v", k, m.Shards[k], m2.Shards[k])
+			}
+		}
+	})
+}

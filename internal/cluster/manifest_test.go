@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testManifest(shards int) *Manifest {
+	m := &Manifest{
+		Spec:    testSpec("/run", shards, 7).RunSpec(),
+		Barrier: 5,
+		Shards:  make([]ShardStatus, shards),
+	}
+	for k := range m.Shards {
+		m.Shards[k] = ShardStatus{Gen: k + 1, Completed: 5 + k, Restarts: k}
+	}
+	return m
+}
+
+// TestManifestRoundTrip: encode/decode and write/read are lossless, and
+// encoding is byte-deterministic (manifests diff cleanly).
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest(3)
+	a, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("manifest encoding is not byte-deterministic")
+	}
+	got, err := DecodeManifest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != m.Spec || got.Barrier != m.Barrier || len(got.Shards) != 3 || got.Shards[2] != m.Shards[2] {
+		t.Errorf("decode round trip: %+v != %+v", got, m)
+	}
+
+	dir := t.TempDir()
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != m.Spec || got.Barrier != m.Barrier {
+		t.Errorf("file round trip: %+v != %+v", got, m)
+	}
+	if _, err := os.Stat(ManifestPath(dir) + ".tmp"); !os.IsNotExist(err) {
+		t.Error("manifest staging file left behind")
+	}
+}
+
+// TestManifestRejectsCorruption: any single flipped byte fails the
+// magic, version, length, or CRC check — never decodes into a plausible
+// wrong manifest.
+func TestManifestRejectsCorruption(t *testing.T) {
+	data, err := EncodeManifest(testManifest(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 6, 8, len(data) / 2, len(data) - 1} {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x20
+		if _, err := DecodeManifest(mut); err == nil {
+			t.Errorf("corrupted byte %d accepted", i)
+		}
+	}
+	for _, trunc := range []int{0, 3, 7, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeManifest(data[:trunc]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", trunc)
+		}
+	}
+}
+
+// TestManifestRejectsInconsistentShape: a CRC-valid manifest whose
+// payload contradicts itself (shard records vs shard count, barrier out
+// of range) is rejected at decode.
+func TestManifestRejectsInconsistentShape(t *testing.T) {
+	bad := []*Manifest{
+		func() *Manifest { m := testManifest(2); m.Shards = m.Shards[:1]; return m }(),
+		func() *Manifest { m := testManifest(2); m.Spec.Shards = 0; return m }(),
+		func() *Manifest { m := testManifest(2); m.Barrier = m.Spec.Days + 3; return m }(),
+		func() *Manifest { m := testManifest(2); m.Barrier = -5; return m }(),
+	}
+	for i, m := range bad {
+		data, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if _, err := DecodeManifest(data); err == nil {
+			t.Errorf("case %d: inconsistent manifest accepted", i)
+		}
+	}
+}
+
+// TestManifestStaleTmp: a crash between staging and rename leaves
+// manifest.tmp. ReadManifest must ignore it (a concurrent poller
+// deleting a live coordinator's staged file would break the rewrite in
+// flight), and the next WriteManifest must clobber it.
+func TestManifestStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest(2)
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	stale := ManifestPath(dir) + ".tmp"
+	if err := os.WriteFile(stale, []byte("torn rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != m.Spec {
+		t.Errorf("read returned wrong manifest: %+v", got)
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale manifest.tmp survived the next WriteManifest")
+	}
+}
+
+// TestValidateShardDirs pins the layout check used by -resume: missing
+// shard dirs and surplus shard dirs are distinct structured errors.
+func TestValidateShardDirs(t *testing.T) {
+	dir := t.TempDir()
+	for k := 0; k < 3; k++ {
+		if err := os.MkdirAll(ShardLogDir(dir, k), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint files and quarantines beside the dirs must not confuse it.
+	for _, f := range []string{"shard-0.frsnap", "shard-0.frsnap.1", "shard-1.frsnap.corrupt"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ValidateShardDirs(dir, 3); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+	if err := ValidateShardDirs(dir, 4); !errors.Is(err, ErrShardLogMissing) {
+		t.Errorf("missing shard dir: got %v, want ErrShardLogMissing", err)
+	}
+	if err := ValidateShardDirs(dir, 2); !errors.Is(err, ErrShardCountMismatch) {
+		t.Errorf("surplus shard dir: got %v, want ErrShardCountMismatch", err)
+	}
+}

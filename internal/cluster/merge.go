@@ -2,14 +2,30 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/eventlog"
 	"repro/internal/simclock"
 	"repro/internal/testutil"
+)
+
+// Structured merge failures: callers (fraudcluster -resume validation,
+// logtool rollups) branch on these with errors.Is instead of parsing
+// message strings.
+var (
+	// ErrShardLogMissing: a shard's log directory does not exist.
+	ErrShardLogMissing = errors.New("cluster: shard log directory missing")
+	// ErrShardLogEmpty: a shard's log directory holds no sealed segments
+	// — a worker that never reached its first rotation, or a wiped dir.
+	ErrShardLogEmpty = errors.New("cluster: shard log has no segments")
+	// ErrShardCountMismatch: the directory's shard layout disagrees with
+	// the expected shard count.
+	ErrShardCountMismatch = errors.New("cluster: shard count mismatch")
 )
 
 // Cluster directory layout: everything a shard owns lives under the
@@ -96,9 +112,21 @@ func MergeReplay(dirs []string, windows []simclock.NamedWindow, sample simclock.
 	}()
 
 	for k, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil {
+			if os.IsNotExist(err) {
+				return nil, nil, fmt.Errorf("shard %d: %w: %s", k, ErrShardLogMissing, dir)
+			}
+			return nil, nil, fmt.Errorf("cluster: shard %d: %w", k, err)
+		} else if !fi.IsDir() {
+			return nil, nil, fmt.Errorf("shard %d: %w: %s is not a directory", k, ErrShardLogMissing, dir)
+		}
 		rd, err := eventlog.OpenDir(dir, eventlog.Filter{})
 		if err != nil {
 			return nil, nil, fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		if rd.Segments() == 0 {
+			rd.Close()
+			return nil, nil, fmt.Errorf("shard %d: %w: %s", k, ErrShardLogEmpty, dir)
 		}
 		cur[k] = &cursor{rd: rd}
 		stats.PerShard[k] = DirStats{Dir: dir, Segments: rd.Segments()}
@@ -195,6 +223,37 @@ func MergeReplay(dirs []string, windows []simclock.NamedWindow, sample simclock.
 		}
 	}
 	return rep.Collector(), stats, nil
+}
+
+// ValidateShardDirs checks that a cluster dir's shard layout matches
+// the expected shard count: every shard-k log dir for k < shards must
+// exist, and no shard-k dir for k >= shards may — a dir holding more
+// shards than the manifest claims is a different run's debris, and
+// merging a subset of it would silently drop events. Missing dirs
+// surface as ErrShardLogMissing, extras as ErrShardCountMismatch.
+func ValidateShardDirs(dir string, shards int) error {
+	for k := 0; k < shards; k++ {
+		if fi, err := os.Stat(ShardLogDir(dir, k)); err != nil || !fi.IsDir() {
+			return fmt.Errorf("shard %d: %w: %s", k, ErrShardLogMissing, ShardLogDir(dir, k))
+		}
+	}
+	extras, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return err
+	}
+	for _, e := range extras {
+		var k int
+		if _, serr := fmt.Sscanf(filepath.Base(e), "shard-%d", &k); serr != nil {
+			continue // shard-0.frsnap and friends
+		}
+		if filepath.Base(e) != fmt.Sprintf("shard-%d", k) {
+			continue // suffixed neighbors (checkpoints, quarantines)
+		}
+		if k >= shards {
+			return fmt.Errorf("%w: found %s but the run has %d shards", ErrShardCountMismatch, e, shards)
+		}
+	}
+	return nil
 }
 
 // Fingerprint canonically encodes a collector's dataset digests as one

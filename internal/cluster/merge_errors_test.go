@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// mergedShards runs every shard of a small cluster shape to completion
+// and returns the spec — the starting point for damaging one shard and
+// asserting how MergeReplay fails.
+func mergedShards(t *testing.T, dir string, shards int) WorkerSpec {
+	t.Helper()
+	spec := testSpec(dir, shards, 3)
+	for k := 0; k < shards; k++ {
+		sp := spec
+		sp.Shard = k
+		runWorkerToDone(t, sp)
+	}
+	return spec
+}
+
+func mergeErr(t *testing.T, spec WorkerSpec) error {
+	t.Helper()
+	cfg, err := spec.SimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, merr := MergeReplay(ShardLogDirs(spec.Dir, spec.Shards), cfg.Windows, cfg.SampleWindow)
+	return merr
+}
+
+// TestMergeReplayMissingShardDir: a missing shard log directory is
+// ErrShardLogMissing, naming the shard — not a generic open failure
+// buried three wrappers deep.
+func TestMergeReplayMissingShardDir(t *testing.T) {
+	dir := t.TempDir()
+	spec := mergedShards(t, dir, 2)
+	if err := os.RemoveAll(ShardLogDir(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := mergeErr(t, spec)
+	if !errors.Is(err, ErrShardLogMissing) {
+		t.Errorf("got %v, want ErrShardLogMissing", err)
+	}
+	// A file where the directory should be is the same structured error.
+	if err := os.WriteFile(ShardLogDir(dir, 1), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeErr(t, spec); !errors.Is(err, ErrShardLogMissing) {
+		t.Errorf("file in place of dir: got %v, want ErrShardLogMissing", err)
+	}
+}
+
+// TestMergeReplayEmptyShardLog: a shard dir with no sealed segments —
+// wiped, or a worker that died pre-rotation — is ErrShardLogEmpty.
+func TestMergeReplayEmptyShardLog(t *testing.T) {
+	dir := t.TempDir()
+	spec := mergedShards(t, dir, 2)
+	if err := os.RemoveAll(ShardLogDir(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(ShardLogDir(dir, 0), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := mergeErr(t, spec)
+	if !errors.Is(err, ErrShardLogEmpty) {
+		t.Errorf("got %v, want ErrShardLogEmpty", err)
+	}
+}
+
+// TestMergeReplayTornSegment: a shard log whose final segment was torn
+// mid-record fails the merge with an error naming that shard rather
+// than folding a truncated stream into a wrong dataset.
+func TestMergeReplayTornSegment(t *testing.T) {
+	dir := t.TempDir()
+	spec := mergedShards(t, dir, 2)
+	segs, err := filepath.Glob(filepath.Join(ShardLogDir(dir, 1), "events-*.evlog"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing shard 1 segments: %v (%d found)", err, len(segs))
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	merr := mergeErr(t, spec)
+	if merr == nil {
+		t.Fatal("merge of a torn shard log succeeded")
+	}
+}

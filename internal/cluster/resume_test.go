@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// interruptRun executes a full in-process cluster run in dir and then
+// rewrites its manifest as if the coordinator died after day `barrier`
+// — Done cleared, digest cleared, barrier and per-shard progress wound
+// back. The shard logs and checkpoint lineages on disk are the real
+// artifacts of a run that got at least that far, which is exactly what
+// a resumed coordinator finds.
+func interruptRun(t *testing.T, dir string, shards int, seed uint64, barrier int) Config {
+	t.Helper()
+	ps := &pipeSpawner{}
+	cfg := clusterConfig(dir, shards, seed, ps, t)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done || m.Digest == "" {
+		t.Fatalf("completed run left manifest %+v", m)
+	}
+	m.Done = false
+	m.Digest = ""
+	m.Barrier = barrier
+	for k := range m.Shards {
+		m.Shards[k].Completed = barrier
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestClusterResumeAfterCoordinatorDeath: a run whose coordinator died
+// mid-flight finishes under Resume with the merged digest byte-identical
+// to an uninterrupted single-process run. The workers land on their
+// checkpoint lineages, rewind their logs, and re-simulate forward.
+func TestClusterResumeAfterCoordinatorDeath(t *testing.T) {
+	for _, barrier := range []int{-1, 5, 11} {
+		dir := t.TempDir()
+		cfg := interruptRun(t, dir, 3, 5, barrier)
+
+		ps := &pipeSpawner{spec: cfg.Spec}
+		cfg.Spawn = ps
+		cfg.Resume = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("barrier %d: resume: %v", barrier, err)
+		}
+		if want := referenceDigest(t, cfg.Spec); res.Digest != want {
+			t.Errorf("barrier %d: resumed digest diverges from single-process run", barrier)
+		}
+		m, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done || m.Digest != res.Digest || m.Barrier != cfg.Spec.Days-1 {
+			t.Errorf("barrier %d: finalized manifest %+v does not record the finished run", barrier, m)
+		}
+	}
+}
+
+// TestClusterResumeAfterShardWipe: resume still converges when one
+// shard lost everything — log dir and whole checkpoint lineage — and
+// must re-simulate from day zero while its peers resume from
+// checkpoints.
+func TestClusterResumeAfterShardWipe(t *testing.T) {
+	dir := t.TempDir()
+	cfg := interruptRun(t, dir, 3, 5, 7)
+	if err := os.RemoveAll(ShardLogDir(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{ShardCheckpoint(dir, 1), ShardCheckpoint(dir, 1) + ".1", ShardCheckpoint(dir, 1) + ".2"} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+
+	ps := &pipeSpawner{spec: cfg.Spec}
+	cfg.Spawn = ps
+	cfg.Resume = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("resume after shard wipe: %v", err)
+	}
+	if want := referenceDigest(t, cfg.Spec); res.Digest != want {
+		t.Errorf("resumed digest diverges after shard wipe")
+	}
+}
+
+// TestClusterRefusesFreshRunOverManifest: without Resume, Run must not
+// clobber a directory that already holds a cluster manifest.
+func TestClusterRefusesFreshRunOverManifest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := interruptRun(t, dir, 2, 9, 3)
+	ps := &pipeSpawner{spec: cfg.Spec}
+	cfg.Spawn = ps
+	cfg.Resume = false
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "already holds a cluster manifest") {
+		t.Errorf("fresh run over a manifest: got %v", err)
+	}
+}
+
+// TestClusterResumeRefusals: resume must refuse a completed run, a spec
+// that disagrees with the manifest, and a directory with no manifest.
+func TestClusterResumeRefusals(t *testing.T) {
+	t.Run("done", func(t *testing.T) {
+		dir := t.TempDir()
+		ps := &pipeSpawner{}
+		cfg := clusterConfig(dir, 2, 9, ps, t)
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Spawn = &pipeSpawner{spec: cfg.Spec}
+		cfg.Resume = true
+		_, err := Run(cfg)
+		if err == nil || !strings.Contains(err.Error(), "nothing to resume") {
+			t.Errorf("resume of a completed run: got %v", err)
+		}
+	})
+	t.Run("spec-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		cfg := interruptRun(t, dir, 2, 9, 3)
+		cfg.Spec.Seed = 10 // operator retyped the command wrong
+		cfg.Seed = 10
+		cfg.Spawn = &pipeSpawner{spec: cfg.Spec}
+		cfg.Resume = true
+		_, err := Run(cfg)
+		if err == nil || !strings.Contains(err.Error(), "resume refused") {
+			t.Errorf("resume with a differing spec: got %v", err)
+		}
+	})
+	t.Run("no-manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		ps := &pipeSpawner{}
+		cfg := clusterConfig(dir, 2, 9, ps, t)
+		cfg.Resume = true
+		if _, err := Run(cfg); err == nil {
+			t.Error("resume of an empty directory succeeded")
+		}
+	})
+}

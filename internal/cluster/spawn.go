@@ -31,8 +31,26 @@ type ExecSpawner struct {
 	// ExtraEnv is appended to the child environment (env mode markers
 	// like the test-child gate variable).
 	ExtraEnv []string
-	// Stderr receives worker stderr (defaults to os.Stderr).
+	// Stderr receives worker stderr (defaults to os.Stderr). Every
+	// worker's copier goroutine writes to it, so Spawn serializes the
+	// writes — callers may pass a plain strings.Builder.
 	Stderr io.Writer
+
+	stderrMu sync.Mutex
+}
+
+// lockedWriter serializes concurrent worker-stderr copies onto one
+// shared writer. *os.File writers are exempted by Spawn: handing the
+// child the fd directly avoids a copier goroutine entirely.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 func (es *ExecSpawner) Spawn(shard int, faults string) (Proc, error) {
@@ -55,9 +73,13 @@ func (es *ExecSpawner) Spawn(shard int, faults string) (Proc, error) {
 		cmd.Args = append(cmd.Args, sp.Args()...)
 	}
 	cmd.Env = append(env, es.ExtraEnv...)
-	cmd.Stderr = es.Stderr
-	if cmd.Stderr == nil {
+	switch w := es.Stderr.(type) {
+	case nil:
 		cmd.Stderr = os.Stderr
+	case *os.File:
+		cmd.Stderr = w
+	default:
+		cmd.Stderr = lockedWriter{mu: &es.stderrMu, w: w}
 	}
 
 	stdin, err := cmd.StdinPipe()

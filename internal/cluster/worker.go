@@ -53,8 +53,12 @@ type WorkerSpec struct {
 	Legit   int     // 0 = scale default
 
 	CheckpointEvery int
-	HBInterval      time.Duration
-	Sync            string // event log fsync policy: none, rotate, interval
+	// Retain is the checkpoint-lineage depth (last K checkpoints kept;
+	// <= 0 means sim.DefaultRetain). Like the worker count it does not
+	// affect the trajectory, only how much corruption a resume survives.
+	Retain     int
+	HBInterval time.Duration
+	Sync       string // event log fsync policy: none, rotate, interval
 
 	// Faults is a faultinject.ParseProcFaults spec ("" = none) seeded by
 	// FaultSeed — chaos harness hooks, never set in normal operation.
@@ -108,6 +112,7 @@ func (sp WorkerSpec) Args() []string {
 		"-regs", fmt.Sprint(sp.Regs),
 		"-legit", fmt.Sprint(sp.Legit),
 		"-checkpoint-every", fmt.Sprint(sp.CheckpointEvery),
+		"-checkpoint-retain", fmt.Sprint(sp.Retain),
 		"-hb-interval", sp.HBInterval.String(),
 		"-sync", sp.Sync,
 	}
@@ -132,6 +137,7 @@ func ParseWorkerArgs(args []string) (WorkerSpec, error) {
 	fs.Float64Var(&sp.Regs, "regs", 0, "override registrations per day")
 	fs.IntVar(&sp.Legit, "legit", 0, "override initial legitimate advertisers")
 	fs.IntVar(&sp.CheckpointEvery, "checkpoint-every", 8, "checkpoint every N simulated days")
+	fs.IntVar(&sp.Retain, "checkpoint-retain", sim.DefaultRetain, "checkpoint lineage depth (last K kept)")
 	fs.DurationVar(&sp.HBInterval, "hb-interval", 500*time.Millisecond, "heartbeat interval")
 	fs.StringVar(&sp.Sync, "sync", "rotate", "event log fsync policy")
 	fs.StringVar(&sp.Faults, "faults", "", "process fault profile (chaos testing)")
@@ -238,24 +244,33 @@ func RunWorker(sp WorkerSpec, ctrl io.Reader, out, logw io.Writer) error {
 	return nil
 }
 
-// openShardSim is the resume-or-fresh startup path: with a checkpoint
-// present, heal the log, rewind to the checkpoint segment and restore
-// (the §6 recovery path); otherwise wipe the shard's log dir and start
-// a fresh replica.
+// lineage returns this shard's checkpoint lineage.
+func (sp WorkerSpec) lineage() sim.Lineage {
+	return sim.Lineage{Path: ShardCheckpoint(sp.Dir, sp.Shard), Retain: sp.Retain}
+}
+
+// openShardSim is the resume-or-fresh startup path: with a restorable
+// checkpoint in the lineage, heal the log, rewind to that checkpoint's
+// segment and restore (the §6 recovery path) — corrupt newer
+// checkpoints are quarantined and the chain falls back, costing only
+// re-simulated days. With no checkpoint at all (or a lineage whose
+// every generation is corrupt), wipe the shard's log dir and start a
+// fresh replica; determinism makes the fresh run converge on the same
+// trajectory.
 func openShardSim(sp WorkerSpec, cfg sim.Config, policy eventlog.SyncPolicy, logw io.Writer) (*sim.Sim, *eventlog.DirWriter, uint64, error) {
 	logDir := ShardLogDir(sp.Dir, sp.Shard)
-	ckpt := ShardCheckpoint(sp.Dir, sp.Shard)
 
 	var (
 		s       *sim.Sim
 		dw      *eventlog.DirWriter
 		logBase uint64
 	)
-	if _, statErr := os.Stat(ckpt); statErr == nil {
-		c, err := sim.ReadCheckpoint(ckpt)
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
-		}
+	c, lrep, lerr := sp.lineage().Load()
+	if note := lrep.String(); note != "" {
+		fmt.Fprintf(logw, "shard %d: checkpoint lineage: %s\n", sp.Shard, note)
+	}
+	switch {
+	case lerr == nil:
 		if c.State.Config.Seed != cfg.Seed || c.State.Config.Days != cfg.Days {
 			return nil, nil, 0, fmt.Errorf("shard %d: checkpoint is from a different run (seed %d days %d, want seed %d days %d)",
 				sp.Shard, c.State.Config.Seed, c.State.Config.Days, cfg.Seed, cfg.Days)
@@ -268,6 +283,7 @@ func openShardSim(sp WorkerSpec, cfg sim.Config, policy eventlog.SyncPolicy, log
 		if err := eventlog.TruncateToSegment(logDir, c.Log.NextSegment); err != nil {
 			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
 		}
+		var err error
 		if dw, err = eventlog.NewDirWriterAt(logDir, c.Log.NextSegment); err != nil {
 			return nil, nil, 0, err
 		}
@@ -276,10 +292,16 @@ func openShardSim(sp WorkerSpec, cfg sim.Config, policy eventlog.SyncPolicy, log
 			dw.Close()
 			return nil, nil, 0, fmt.Errorf("shard %d: %w", sp.Shard, err)
 		}
-		fmt.Fprintf(logw, "shard %d: resumed from checkpoint at day %d (segment %d)\n",
-			sp.Shard, s.Day(), c.Log.NextSegment)
-	} else {
-		// No checkpoint: any log content is an unrecoverable partial run.
+		fmt.Fprintf(logw, "shard %d: resumed from %s at day %d (segment %d)\n",
+			sp.Shard, lrep.From, s.Day(), c.Log.NextSegment)
+
+	case errors.Is(lerr, sim.ErrNoCheckpoint) || errors.Is(lerr, sim.ErrLineageCorrupt):
+		// No restorable checkpoint: any log content is an unrecoverable
+		// partial run. (An all-corrupt lineage already quarantined its
+		// evidence above; the wipe only touches the log.)
+		if errors.Is(lerr, sim.ErrLineageCorrupt) {
+			fmt.Fprintf(logw, "shard %d: %v; starting fresh\n", sp.Shard, lerr)
+		}
 		if err := os.RemoveAll(logDir); err != nil {
 			return nil, nil, 0, err
 		}
@@ -291,6 +313,9 @@ func openShardSim(sp WorkerSpec, cfg sim.Config, policy eventlog.SyncPolicy, log
 			return nil, nil, 0, err
 		}
 		s = sim.New(cfg)
+
+	default:
+		return nil, nil, 0, fmt.Errorf("shard %d: checkpoint lineage: %w", sp.Shard, lerr)
 	}
 	dw.Sync = policy
 
@@ -366,7 +391,7 @@ func runWorkerLoop(sp WorkerSpec, cfg sim.Config, s *sim.Sim, dw *eventlog.DirWr
 				return fmt.Errorf("shard %d: rotate: %w", sp.Shard, err)
 			}
 			pos := sim.LogPosition{NextSegment: dw.NextSegment(), Events: logBase + dw.Events()}
-			if err := s.WriteCheckpointFile(ShardCheckpoint(sp.Dir, sp.Shard), pos); err != nil {
+			if err := s.SaveCheckpointLineage(sp.lineage(), pos); err != nil {
 				return fmt.Errorf("shard %d: checkpoint: %w", sp.Shard, err)
 			}
 		}

@@ -48,14 +48,15 @@ type Checkpoint struct {
 	Log   LogPosition
 }
 
-// WriteCheckpoint atomically writes a checkpoint file.
-func WriteCheckpoint(path string, c *Checkpoint) error {
+// encodeCheckpoint renders a checkpoint as its on-disk frame: magic,
+// version, uvarint payload length, gob payload, CRC32C.
+func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
 	if c == nil || c.State == nil {
-		return fmt.Errorf("sim: nil checkpoint")
+		return nil, fmt.Errorf("sim: nil checkpoint")
 	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(c); err != nil {
-		return fmt.Errorf("sim: encode checkpoint: %w", err)
+		return nil, fmt.Errorf("sim: encode checkpoint: %w", err)
 	}
 	var buf bytes.Buffer
 	buf.Write(checkpointMagic)
@@ -65,24 +66,42 @@ func WriteCheckpoint(path string, c *Checkpoint) error {
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), checkpointCRC))
 	buf.Write(crcBuf[:])
+	return buf.Bytes(), nil
+}
 
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// writeFileSync writes data to path (truncating) and fsyncs it, removing
+// the file on any failure so a half-written staging file never survives
+// its own error path.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// WriteCheckpoint atomically writes a checkpoint file.
+func WriteCheckpoint(path string, c *Checkpoint) error {
+	frame, err := encodeCheckpoint(c)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, frame); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -164,4 +183,53 @@ func DecodeCheckpoint(data []byte) (c *Checkpoint, err error) {
 // position in one call.
 func (s *Sim) WriteCheckpointFile(path string, pos LogPosition) error {
 	return WriteCheckpoint(path, &Checkpoint{State: s.Snapshot(), Log: pos})
+}
+
+// CheckpointInfo is what InspectCheckpoint can say about a checkpoint
+// file without a debugger: the header facts plus, when the file
+// validates, the snapshot's cursor and run shape.
+type CheckpointInfo struct {
+	Path    string
+	Bytes   int64
+	Version int // format version byte from the header (-1 if not a checkpoint at all)
+
+	// Valid is true when magic, version, length, CRC, and gob decode all
+	// passed; the fields below it are meaningful only then. Err holds
+	// the validation failure otherwise.
+	Valid bool
+	Err   string
+
+	Day   int
+	Phase string
+	Log   LogPosition
+	Seed  uint64
+	Days  int
+}
+
+// InspectCheckpoint reads a checkpoint file for triage: it never
+// panics, and unlike ReadCheckpoint it returns as much as it can about
+// an invalid file (size, claimed version, failure reason) instead of
+// just an error. The returned error is reserved for I/O failures; a
+// corrupt file comes back with Valid == false.
+func InspectCheckpoint(path string) (*CheckpointInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &CheckpointInfo{Path: path, Bytes: int64(len(data)), Version: -1}
+	if len(data) >= len(checkpointMagic) && bytes.Equal(data[:len(checkpointMagic)-1], checkpointMagic[:len(checkpointMagic)-1]) {
+		info.Version = int(data[len(checkpointMagic)-1])
+	}
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
+		info.Err = err.Error()
+		return info, nil
+	}
+	info.Valid = true
+	info.Day = int(c.State.Day)
+	info.Phase = c.State.Phase.String()
+	info.Log = c.Log
+	info.Seed = c.State.Config.Seed
+	info.Days = int(c.State.Config.Days)
+	return info, nil
 }

@@ -1,0 +1,243 @@
+// Lineage corruption sweep: the disaster this layer exists for is a
+// checkpoint that goes bad on disk *after* the atomic write succeeded —
+// the crash suite's torn tails never touch a committed snapshot. Here
+// every faultinject corruption profile damages the lineage at every
+// fallback depth, and the restore must still converge on the canonical
+// digest of an uninterrupted run: shallower damage costs re-simulated
+// days, never correctness. (`make crash` runs TestCrash*.)
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eventlog"
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// stepWithLineage mirrors stepWithCheckpoints but saves through a
+// checkpoint Lineage, optionally handing each save to a corruption
+// injector (the corrupt-save-N profiles damage the file the moment it
+// is committed, like bad hardware would).
+func stepWithLineage(t *testing.T, s *sim.Sim, dw *eventlog.DirWriter, lin sim.Lineage, every, stopDay int, inj *faultinject.CkptInjector) *sim.Result {
+	t.Helper()
+	for {
+		if every > 0 && int(s.Day()) > 0 && int(s.Day())%every == 0 {
+			if err := dw.Rotate(); err != nil {
+				t.Fatalf("rotate at day %d: %v", s.Day(), err)
+			}
+			pos := sim.LogPosition{NextSegment: dw.NextSegment(), Events: dw.Events()}
+			if err := s.SaveCheckpointLineage(lin, pos); err != nil {
+				t.Fatalf("lineage save at day %d: %v", s.Day(), err)
+			}
+			if inj != nil {
+				if _, err := inj.OnSave(lin.Path); err != nil {
+					t.Fatalf("corrupt save at day %d: %v", s.Day(), err)
+				}
+			}
+		}
+		if stopDay >= 0 && int(s.Day()) >= stopDay {
+			return nil // crashed: abandon everything mid-flight
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return s.Finish()
+}
+
+// resumeFromLineage is the full recovery path a resumed process runs:
+// repair the log, restore the newest valid checkpoint (quarantining the
+// damaged ones), truncate the log to the restored segment, and
+// re-simulate to the end. The deterministic rerun rewrites the dropped
+// segments byte-identically, which is what makes the digest comparison
+// below meaningful.
+func resumeFromLineage(t *testing.T, dir string, lin sim.Lineage, every int) (*sim.Result, *sim.LineageReport) {
+	t.Helper()
+	if _, err := eventlog.RecoverDir(dir, true); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	c, rep, err := lin.Load()
+	if err != nil {
+		t.Fatalf("lineage load: %v (report: %s)", err, rep)
+	}
+	if err := eventlog.TruncateToSegment(dir, c.Log.NextSegment); err != nil {
+		t.Fatal(err)
+	}
+	dw, err := eventlog.NewDirWriterAt(dir, c.Log.NextSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.Restore(c.State)
+	if err != nil {
+		t.Fatalf("restore from %s: %v", rep.From, err)
+	}
+	s.SetEvents(dw)
+	res := stepWithLineage(t, s, dw, lin, every, -1, nil)
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, rep
+}
+
+func checkCanonical(t *testing.T, dir string, res *sim.Result, wantFP string, wantReplay testutil.CollectorDigestSet) {
+	t.Helper()
+	cfg := crashConfig(1234)
+	if got := testutil.DigestResult(res).Fingerprint; got != wantFP {
+		t.Errorf("recovered result digest %s, uninterrupted run has %s", got, wantFP)
+	}
+	col, err := dataset.ReplayDir(dir, cfg.Windows, cfg.SampleWindow)
+	if err != nil {
+		t.Fatalf("replay recovered log: %v", err)
+	}
+	if got := testutil.CollectorDigests(col); got != wantReplay {
+		t.Errorf("replayed log digests diverge:\n got %+v\nwant %+v", got, wantReplay)
+	}
+}
+
+// TestCrashLineageCorruptionFallback is the corruption acceptance
+// sweep: for every damage profile × fallback depth d, crash a run, then
+// damage the d newest checkpoints in its lineage. Restore must
+// quarantine all d, fall back to the next snapshot, and finish with the
+// canonical digest. At full depth (every generation damaged) the
+// lineage reports ErrLineageCorrupt and a from-scratch run — the
+// operator's last resort — still reaches the same digest.
+func TestCrashLineageCorruptionFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many partial simulations")
+	}
+	wantFP, wantReplay := baselineDigests(t)
+	const every = 4
+	const crashDay = 17 // saves at days 4,8,12,16 → lineage holds 16,12,8
+
+	for _, spec := range []string{"bitflip", "truncate=64", "zerofill@16:256"} {
+		profile, err := faultinject.ParseCkptFaults(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		for depth := 1; depth <= sim.DefaultRetain; depth++ {
+			spec, profile, depth := spec, profile, depth
+			t.Run(fmt.Sprintf("%s/depth=%d", spec, depth), func(t *testing.T) {
+				cfg := crashConfig(1234)
+				dir := t.TempDir()
+				lin := sim.Lineage{Path: filepath.Join(t.TempDir(), "checkpoint.frsnap")}
+				dw, err := eventlog.NewDirWriter(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Events = dw
+				if res := stepWithLineage(t, sim.New(cfg), dw, lin, every, crashDay, nil); res != nil {
+					t.Fatal("crash run was not abandoned")
+				}
+
+				// Damage the `depth` newest generations.
+				inj := faultinject.New(uint64(depth) * 7919).Ckpt(spec, profile)
+				for g := 0; g < depth; g++ {
+					target := lin.Path
+					if g > 0 {
+						target = fmt.Sprintf("%s.%d", lin.Path, g)
+					}
+					if err := inj.Corrupt(target); err != nil {
+						t.Fatalf("corrupt generation %d: %v", g, err)
+					}
+				}
+
+				if depth == sim.DefaultRetain {
+					// Every snapshot is gone: the lineage must say so
+					// loudly (and keep the evidence), and a fresh run over
+					// a wiped log dir is the recovery of last resort.
+					if _, err := eventlog.RecoverDir(dir, true); err != nil {
+						t.Fatalf("recover: %v", err)
+					}
+					_, rep, err := lin.Load()
+					if !errors.Is(err, sim.ErrLineageCorrupt) {
+						t.Fatalf("Load on fully-damaged lineage: %v, want ErrLineageCorrupt", err)
+					}
+					if len(rep.Quarantined) != depth {
+						t.Fatalf("quarantined %v, want %d files", rep.Quarantined, depth)
+					}
+					if err := os.RemoveAll(dir); err != nil {
+						t.Fatal(err)
+					}
+					dw2, err := eventlog.NewDirWriter(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg2 := crashConfig(1234)
+					cfg2.Events = dw2
+					res := stepWithLineage(t, sim.New(cfg2), dw2, lin, every, -1, nil)
+					if err := dw2.Close(); err != nil {
+						t.Fatal(err)
+					}
+					checkCanonical(t, dir, res, wantFP, wantReplay)
+					return
+				}
+
+				res, rep := resumeFromLineage(t, dir, lin, every)
+				if len(rep.Quarantined) != depth {
+					t.Errorf("quarantined %v, want %d files", rep.Quarantined, depth)
+				}
+				for _, q := range rep.Quarantined {
+					if _, err := os.Stat(q + sim.CorruptSuffix); err != nil {
+						t.Errorf("quarantine evidence %s%s missing: %v", q, sim.CorruptSuffix, err)
+					}
+				}
+				checkCanonical(t, dir, res, wantFP, wantReplay)
+			})
+		}
+	}
+}
+
+// TestCrashLineageCorruptSaveN exercises the corrupt-save-N profile end
+// to end: the damage lands at write time (the file is poisoned the
+// moment it is committed) and then ages through the chain as later
+// saves shift it deeper. Whether the poisoned save is the newest at
+// crash time (forcing fallback) or already buried (restoring clean),
+// the digest must stay canonical.
+func TestCrashLineageCorruptSaveN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs partial simulations")
+	}
+	wantFP, wantReplay := baselineDigests(t)
+	const every = 4
+	const crashDay = 17 // saves 1..4 at days 4,8,12,16
+
+	for _, n := range []int{2, 4} { // save 2 ends up buried at ck.2; save 4 is the newest
+		n := n
+		t.Run(fmt.Sprintf("save=%d", n), func(t *testing.T) {
+			spec := fmt.Sprintf("bitflip,save=%d", n)
+			profile, err := faultinject.ParseCkptFaults(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := crashConfig(1234)
+			dir := t.TempDir()
+			lin := sim.Lineage{Path: filepath.Join(t.TempDir(), "checkpoint.frsnap")}
+			dw, err := eventlog.NewDirWriter(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Events = dw
+			inj := faultinject.New(42).Ckpt("lineage", profile)
+			if res := stepWithLineage(t, sim.New(cfg), dw, lin, every, crashDay, inj); res != nil {
+				t.Fatal("crash run was not abandoned")
+			}
+
+			res, rep := resumeFromLineage(t, dir, lin, every)
+			wantQuarantine := 0
+			if n == 4 {
+				wantQuarantine = 1 // the newest snapshot was the poisoned one
+			}
+			if len(rep.Quarantined) != wantQuarantine {
+				t.Errorf("quarantined %v, want %d files", rep.Quarantined, wantQuarantine)
+			}
+			checkCanonical(t, dir, res, wantFP, wantReplay)
+		})
+	}
+}
