@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos crash crash-cluster crash-coordinator verify golden bench bench-serving bench-dayloop bench-cluster bench-router fuzz-smoke
+.PHONY: build vet test race chaos crash crash-cluster crash-coordinator verify golden bench bench-serving bench-dayloop bench-cluster bench-router bench-all benchdiff fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,22 @@ bench-cluster:
 bench-router:
 	$(GO) test ./internal/loadgen -run TestWriteRouterBenchJSON \
 		-bench-router-out $(CURDIR)/BENCH_cluster.json -timeout 20m -v
+
+# bench-all re-records both hot-path benchmark reports (serving and the
+# whole day loop) in one go; run it before and after a performance change
+# so the committed BENCH_*.json baselines stay honest.
+bench-all: bench-serving bench-dayloop
+
+# benchdiff re-measures the day loop into a scratch file and compares it
+# against the committed BENCH_dayloop.json with cmd/benchdiff, exiting
+# nonzero on a >10% ns/day regression. CI runs this advisory — a shared
+# runner's numbers indict the runner as often as the code — via the
+# bench-smoke job, which also uploads CPU/heap profiles.
+benchdiff:
+	$(GO) test ./internal/sim -run TestWriteDayloopBenchJSON \
+		-bench-dayloop-out $(CURDIR)/BENCH_dayloop.new.json -timeout 20m
+	$(GO) run ./cmd/benchdiff -old $(CURDIR)/BENCH_dayloop.json \
+		-new $(CURDIR)/BENCH_dayloop.new.json -max-regress 10
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the
 # corpus plus a short exploration burst.

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+const oldDayloop = `{
+  "bench": "dayloop", "config": "MediumConfig", "gomaxprocs": 4,
+  "modes": [
+    {"workers": 1, "ns_per_day": 100000000, "allocs_per_day": 80000},
+    {"workers": 4, "ns_per_day": 40000000, "allocs_per_day": 90000}
+  ]
+}`
+
+func TestDayloopPassOnImprovement(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldDayloop)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "dayloop", "gomaxprocs": 4,
+	  "modes": [
+	    {"workers": 1, "ns_per_day": 85000000, "allocs_per_day": 17000},
+	    {"workers": 4, "ns_per_day": 39000000, "allocs_per_day": 20000}
+	  ]
+	}`)
+	code, out, _ := runDiff(t, "-old", oldPath, "-new", newPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "-15.0%") {
+		t.Fatalf("output missing pass verdict or delta:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/day") {
+		t.Fatalf("allocation advisory missing:\n%s", out)
+	}
+}
+
+func TestDayloopFailOnRegression(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldDayloop)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "dayloop", "gomaxprocs": 4,
+	  "modes": [{"workers": 1, "ns_per_day": 120000000}]
+	}`)
+	code, out, _ := runDiff(t, "-old", oldPath, "-new", newPath, "-max-regress", "10")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output missing regression verdict:\n%s", out)
+	}
+}
+
+func TestThresholdIsConfigurable(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldDayloop)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "dayloop", "gomaxprocs": 4,
+	  "modes": [{"workers": 1, "ns_per_day": 120000000}]
+	}`)
+	code, out, _ := runDiff(t, "-old", oldPath, "-new", newPath, "-max-regress", "25")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 at a 25%% threshold\n%s", code, out)
+	}
+}
+
+func TestAllocRegressionIsAdvisoryOnly(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldDayloop)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "dayloop", "gomaxprocs": 4,
+	  "modes": [{"workers": 1, "ns_per_day": 100000000, "allocs_per_day": 500000}]
+	}`)
+	code, out, _ := runDiff(t, "-old", oldPath, "-new", newPath)
+	if code != 0 {
+		t.Fatalf("alloc growth alone must not gate: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "+525.0%") {
+		t.Fatalf("alloc delta not reported:\n%s", out)
+	}
+}
+
+func TestServingSchemaUsesNsPerQuery(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{
+	  "bench": "serving", "gomaxprocs": 4,
+	  "modes": [{"workers": 1, "ns_per_query": 5000}]
+	}`)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "serving", "gomaxprocs": 4,
+	  "modes": [{"workers": 1, "ns_per_query": 6000}]
+	}`)
+	code, out, _ := runDiff(t, "-old", oldPath, "-new", newPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "ns/query") {
+		t.Fatalf("serving metric not selected:\n%s", out)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{"bench": "dayloop", "modes": []}`)
+	newPath := writeReport(t, "new.json", `{"bench": "serving", "modes": []}`)
+	code, _, errw := runDiff(t, "-old", oldPath, "-new", newPath)
+	if code != 2 || !strings.Contains(errw, "schema mismatch") {
+		t.Fatalf("exit %d, err %q", code, errw)
+	}
+}
+
+func TestNoComparableModesIsAnError(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{
+	  "bench": "dayloop", "modes": [{"workers": 2, "ns_per_day": 1000}]
+	}`)
+	newPath := writeReport(t, "new.json", `{
+	  "bench": "dayloop", "modes": [{"workers": 1, "ns_per_day": 1000}]
+	}`)
+	code, _, errw := runDiff(t, "-old", oldPath, "-new", newPath)
+	if code != 2 || !strings.Contains(errw, "no comparable modes") {
+		t.Fatalf("a vacuous diff must not pass: exit %d, err %q", code, errw)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runDiff(t, "-old", "only.json"); code != 2 {
+		t.Fatalf("missing -new accepted: exit %d", code)
+	}
+	bad := writeReport(t, "bad.json", `{"not": "a report"}`)
+	if code, _, errw := runDiff(t, "-old", bad, "-new", bad); code != 2 || !strings.Contains(errw, "bench") {
+		t.Fatalf("schema-less file accepted: exit %d, err %q", code, errw)
+	}
+}

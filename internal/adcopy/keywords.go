@@ -132,6 +132,25 @@ func CanonicalToken(tok string) string {
 // the extreme fraud-vs-fraud competition of Figures 10–11. Legitimate
 // advertisers pass (0, 0) to sample the whole universe.
 func (u *Universe) SampleKeywords(rng *stats.RNG, n int, skew float64, lo, span int) []int {
+	return u.NewKeywordSampler(rng, skew, lo, span).SampleInto(nil, n)
+}
+
+// KeywordSampler is the reusable form of SampleKeywords for callers that
+// draw repeatedly with fixed (skew, pocket) parameters, such as an agent
+// creating ads every day: the Zipf rejection sampler's precomputation
+// (several exp/log calls plus a heap object) is paid once at construction
+// instead of per draw. Construction consumes no randomness, so swapping
+// SampleKeywords for a cached sampler never perturbs a seeded run.
+type KeywordSampler struct {
+	lo    int
+	width int
+	z     *stats.Zipf
+}
+
+// NewKeywordSampler prepares a sampler over the universe's popularity
+// band [lo, lo+span) (the whole universe when span == 0), with the same
+// parameter normalization as SampleKeywords.
+func (u *Universe) NewKeywordSampler(rng *stats.RNG, skew float64, lo, span int) *KeywordSampler {
 	limit := len(u.Keywords)
 	if lo < 0 || lo >= limit {
 		lo = 0
@@ -139,24 +158,42 @@ func (u *Universe) SampleKeywords(rng *stats.RNG, n int, skew float64, lo, span 
 	if span > 0 && lo+span < limit {
 		limit = lo + span
 	}
-	width := limit - lo
-	if n >= width {
-		out := make([]int, width)
-		for i := range out {
-			out[i] = lo + i
-		}
-		return out
-	}
 	if skew < 1.01 {
 		skew = 1.01
 	}
-	z := stats.NewZipf(rng, skew, 1, uint64(width))
-	chosen := make(map[int]bool, n)
-	out := make([]int, 0, n)
+	s := &KeywordSampler{lo: lo, width: limit - lo}
+	if s.width > 0 {
+		s.z = stats.NewZipf(rng, skew, 1, uint64(s.width))
+	}
+	return s
+}
+
+// SampleInto appends n distinct keyword IDs to out (pass a truncated
+// scratch buffer; prior contents count as already chosen) and returns the
+// extended slice. The draw sequence is identical to SampleKeywords:
+// rejection of duplicates consumes the same RNG stream, only the
+// duplicate bookkeeping differs (a linear scan over the tiny result
+// instead of a map).
+func (s *KeywordSampler) SampleInto(out []int, n int) []int {
+	if s.width == 0 {
+		return out
+	}
+	if n >= s.width {
+		for i := 0; i < s.width; i++ {
+			out = append(out, s.lo+i)
+		}
+		return out
+	}
 	for len(out) < n {
-		id := lo + int(z.Uint64())
-		if !chosen[id] {
-			chosen[id] = true
+		id := s.lo + int(s.z.Uint64())
+		dup := false
+		for _, have := range out {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, id)
 		}
 	}

@@ -24,6 +24,28 @@ type Agent struct {
 
 	domains []string
 	rng     *stats.RNG
+
+	// Lazily built per-agent caches, invalidated on Hijack (profile and
+	// domains change) and simply absent after a checkpoint restore; both
+	// rebuild without consuming randomness, so laziness is trajectory-safe.
+	kwSampler *adcopy.KeywordSampler
+	dispURLs  []string
+	destURLs  []string
+}
+
+// ensureURLs builds the per-domain display/destination URL strings once,
+// so the non-FullCreatives apply path stops concatenating two fresh
+// strings per created ad.
+func (a *Agent) ensureURLs() {
+	if a.dispURLs != nil {
+		return
+	}
+	a.dispURLs = make([]string, len(a.domains))
+	a.destURLs = make([]string, len(a.domains))
+	for i, d := range a.domains {
+		a.dispURLs[i] = "www." + d
+		a.destURLs[i] = "http://" + d + "/"
+	}
 }
 
 // Runtime executes agent behavior against a platform and records campaign
@@ -51,6 +73,11 @@ type Runtime struct {
 	// scratch is Step's reusable plan buffer (single-goroutine use only;
 	// parallel callers pass their own plans to PlanStep/ApplyStep).
 	scratch StepPlan
+
+	// kbScratch stages one ad's keyword bids for the batched platform
+	// insert; ApplyStep always runs on the simulation goroutine, so one
+	// buffer serves every agent.
+	kbScratch []platform.KeywordBid
 }
 
 // NewRuntime constructs the agent runtime. universe resolves a vertical
@@ -116,6 +143,11 @@ func (r *Runtime) Hijack(a *Agent, takeover Profile, day simclock.Day) {
 	a.Profile = takeover
 	a.StartDay = day
 	a.domains = []string{r.domgen.Unique()}
+	// The takeover changes the keyword pocket and the domain set; drop the
+	// per-agent caches so they rebuild against the new profile.
+	a.kwSampler = nil
+	a.dispURLs = nil
+	a.destURLs = nil
 }
 
 // Step runs one day of campaign management for a live agent. It returns

@@ -32,6 +32,7 @@ package agents
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/adcopy"
@@ -74,11 +75,12 @@ type planBid struct {
 }
 
 // createPlan is one planned ad creation. Bids live in the plan's shared
-// arena at [bidOff, bidOff+bidLen). phrase carries the head keyword's
-// phrase for the FullCreatives generator, whose shared stream is drawn at
-// apply time.
+// arena at [bidOff, bidOff+bidLen). domIdx indexes the agent's domain
+// list (the apply half resolves it against the agent's cached URL
+// strings). phrase carries the head keyword's phrase for the
+// FullCreatives generator, whose shared stream is drawn at apply time.
 type createPlan struct {
-	domain      string
+	domIdx      int32
 	phrase      string
 	evasionUsed bool
 	quality     float64
@@ -98,6 +100,12 @@ type StepPlan struct {
 	// adsSim mirrors the account's ad list while planning: one entry per
 	// ad slot holding its bid count (the only property later draws need).
 	adsSim []int32
+
+	// kwBuf and matchBuf are planCreateAd's per-create scratch, truncated
+	// at each use; kept here so the planning half stays allocation-flat
+	// across days once capacities warm up.
+	kwBuf    []int
+	matchBuf []platform.MatchType
 }
 
 func (p *StepPlan) reset() {
@@ -174,10 +182,17 @@ func (r *Runtime) planCreateAd(a *Agent, day simclock.Day, created simclock.Stam
 	if u == nil || u.Size() == 0 {
 		return
 	}
-	domain := a.domains[a.rng.Intn(len(a.domains))]
-	kws := u.SampleKeywords(a.rng, a.KeywordsPerAd, a.KeywordSkew, a.PocketStart, a.PocketSpan)
+	domIdx := a.rng.Intn(len(a.domains))
+	// The sampler is cached per agent (its parameters are fixed by the
+	// profile); building it consumes no randomness, so the lazy rebuild
+	// after a Hijack or checkpoint restore is draw-for-draw neutral.
+	if a.kwSampler == nil {
+		a.kwSampler = u.NewKeywordSampler(a.rng, a.KeywordSkew, a.PocketStart, a.PocketSpan)
+	}
+	plan.kwBuf = a.kwSampler.SampleInto(plan.kwBuf[:0], a.KeywordsPerAd)
+	kws := plan.kwBuf
 
-	cp := createPlan{domain: domain}
+	cp := createPlan{domIdx: int32(domIdx)}
 	if r.FullCreatives {
 		cp.phrase = u.Keywords[kws[0]].Phrase
 	} else {
@@ -198,12 +213,13 @@ func (r *Runtime) planCreateAd(a *Agent, day simclock.Day, created simclock.Stam
 	// Draw a match type per keyword slot, then pair exact matches with the
 	// most popular keywords: advertisers place exact bids on the
 	// high-volume queries they know, and spray phrase/broad over the tail.
-	matches := make([]platform.MatchType, len(kws))
-	for i := range matches {
-		matches[i] = platform.MatchTypes[stats.Categorical(a.rng, a.MatchMix[:])]
+	matches := plan.matchBuf[:0]
+	for range kws {
+		matches = append(matches, platform.MatchTypes[stats.Categorical(a.rng, a.MatchMix[:])])
 	}
+	plan.matchBuf = matches
 	sort.Ints(kws) // ascending keyword ID == descending popularity
-	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	slices.Sort(matches)
 	cp.bidOff = int32(len(plan.bids))
 	for i, kw := range kws {
 		match := matches[i]
@@ -275,12 +291,14 @@ func (r *Runtime) ApplyStep(a *Agent, day simclock.Day, plan *StepPlan) int {
 			cp := &plan.creates[op.create]
 			var creative adcopy.Creative
 			if r.FullCreatives {
-				creative = r.copygen.Creative(a.Vertical, cp.phrase, cp.domain, a.Evasion)
+				creative = r.copygen.Creative(a.Vertical, cp.phrase, a.domains[cp.domIdx], a.Evasion)
 			} else {
-				// Carry only the fields detection and analysis consume.
+				// Carry only the fields detection and analysis consume;
+				// the URL strings come from the agent's per-domain cache.
+				a.ensureURLs()
 				creative = adcopy.Creative{
-					DisplayURL:  "www." + cp.domain,
-					DestURL:     "http://" + cp.domain + "/",
+					DisplayURL:  a.dispURLs[cp.domIdx],
+					DestURL:     a.destURLs[cp.domIdx],
 					HasPhone:    a.Vertical == "techsupport",
 					EvasionUsed: cp.evasionUsed,
 				}
@@ -299,18 +317,29 @@ func (r *Runtime) ApplyStep(a *Agent, day simclock.Day, plan *StepPlan) int {
 			// can push a stamp across a day boundary, and the collector's
 			// campaign counters are keyed by the loop day.
 			r.emit(eventlog.Event{Type: eventlog.TypeAdCreated, Day: int32(day), Account: int32(a.Account), Vertical: int32(a.VerticalIdx)})
-			for _, pb := range plan.bids[cp.bidOff : cp.bidOff+cp.bidLen] {
-				bid := platform.KeywordBid{
+			// One exact-size backing allocation for the whole bid set
+			// instead of one heap object per bid. AddBidsBatch skips
+			// non-positive amounts exactly as per-bid AddBid would
+			// (the freshly created ad is always active), so the
+			// collector/event loop mirrors that predicate.
+			pbs := plan.bids[cp.bidOff : cp.bidOff+cp.bidLen]
+			r.kbScratch = r.kbScratch[:0]
+			for _, pb := range pbs {
+				r.kbScratch = append(r.kbScratch, platform.KeywordBid{
 					KeywordID: int(pb.kw),
 					Cluster:   int(pb.cluster),
 					Match:     pb.match,
 					MaxBid:    pb.maxBid,
+				})
+			}
+			r.p.AddBidsBatch(ad, r.kbScratch, cp.at)
+			for _, pb := range pbs {
+				if pb.maxBid <= 0 {
+					continue
 				}
-				if err := r.p.AddBid(ad, bid, cp.at); err == nil {
-					r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
-					r.col.BidCreated(a.Account, pb.match, pb.maxBid/def)
-					r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(pb.match), Amount: pb.maxBid / def})
-				}
+				r.col.Campaign(day, a.Account, dataset.ActionKwCreate, 1)
+				r.col.BidCreated(a.Account, pb.match, pb.maxBid/def)
+				r.emit(eventlog.Event{Type: eventlog.TypeBidPlaced, Day: int32(day), Account: int32(a.Account), Match: uint8(pb.match), Amount: pb.maxBid / def})
 			}
 		}
 	}

@@ -12,8 +12,6 @@
 package auction
 
 import (
-	"sort"
-
 	"repro/internal/platform"
 )
 
@@ -105,7 +103,18 @@ type scored struct {
 // RunInto call.
 type Scratch struct {
 	cands      []scored
+	top        []scored
 	placements []Placement
+}
+
+// rankBefore is the auction's total order: higher score first, ties
+// broken by ad ID. Candidates are deduped to one per account, so ad IDs
+// are unique and the order is strict — no two candidates compare equal.
+func rankBefore(a, b *scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.ref.Ad.ID < b.ref.Ad.ID
 }
 
 // Run executes the auction over the eligible bids for one query form,
@@ -156,30 +165,44 @@ func RunInto(cfg Config, eligible []platform.BidRef, form platform.QueryForm, sc
 	if len(cands) == 0 {
 		return Result{Considered: len(eligible)}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		// Deterministic tie-break by ad ID.
-		return cands[i].ref.Ad.ID < cands[j].ref.Ad.ID
-	})
 
+	// Select the top maxShown candidates by bounded insertion instead of
+	// sorting everything: only the ≤ 9 shown slots ever matter, and
+	// sort.Slice's reflection machinery allocates on a path run millions
+	// of times per run. rankBefore is a strict total order, so the result
+	// is placement-for-placement identical to full sort + truncate
+	// (pinned by TestTopKMatchesFullSort).
 	maxShown := cfg.MaxMainline + cfg.MaxSidebar
-	if len(cands) > maxShown {
-		cands = cands[:maxShown]
+	top := scr.top[:0]
+	for i := range cands {
+		c := &cands[i]
+		if len(top) == maxShown {
+			if !rankBefore(c, &top[maxShown-1]) {
+				continue
+			}
+		} else {
+			top = append(top, scored{})
+		}
+		j := len(top) - 1
+		for j > 0 && rankBefore(c, &top[j-1]) {
+			top[j] = top[j-1]
+			j--
+		}
+		top[j] = *c
 	}
+	scr.top = top
 
 	res := Result{Considered: len(eligible), Placements: scr.placements[:0]}
 	mainline := 0
-	for i, c := range cands {
+	for i, c := range top {
 		// GSP price: the minimum bid that would keep this ad above the
 		// next candidate's score, plus an increment; the last shown ad
 		// pays the reserve. Clamp to [ReservePrice, own bid].
 		price := cfg.ReservePrice
-		if i+1 < len(cands) {
+		if i+1 < len(top) {
 			denom := c.qual * c.rel
 			if denom > 0 {
-				price = cands[i+1].score/denom + cfg.Increment
+				price = top[i+1].score/denom + cfg.Increment
 			}
 		}
 		if price < cfg.ReservePrice {

@@ -1,0 +1,183 @@
+package auction
+
+// Equivalence proof for the bounded top-K selection in RunInto: against a
+// plain full-sort reference, every placement — ad, position, mainline
+// flag, score and GSP price — must match exactly, including score ties
+// (broken by ad ID) and the one-ad-per-account dedup. Plus the
+// steady-state allocation pin the perf-regression harness relies on.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/adcopy"
+	"repro/internal/market"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/verticals"
+)
+
+// referenceRun is the pre-optimization auction: dedup to the best bid per
+// account, sort ALL candidates with the rank order, truncate to the shown
+// slots, then price. Deliberately simple — it is the spec RunInto's
+// bounded insertion must reproduce placement for placement.
+func referenceRun(cfg Config, eligible []platform.BidRef, form platform.QueryForm) []Placement {
+	var cands []scored
+	for _, ref := range eligible {
+		rel := Relevance(ref.Bid.Match, form)
+		s := ref.Bid.MaxBid * (ref.Ad.Quality * rel) // associate as RunInto does
+		if s < cfg.ReserveScore {
+			continue
+		}
+		found := false
+		for j := range cands {
+			if cands[j].ref.Ad.Account == ref.Ad.Account {
+				if s > cands[j].score {
+					cands[j] = scored{ref: ref, score: s, rel: rel, qual: ref.Ad.Quality, bid: ref.Bid.MaxBid}
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			cands = append(cands, scored{ref: ref, score: s, rel: rel, qual: ref.Ad.Quality, bid: ref.Bid.MaxBid})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return rankBefore(&cands[i], &cands[j]) })
+	if max := cfg.MaxMainline + cfg.MaxSidebar; len(cands) > max {
+		cands = cands[:max]
+	}
+	var out []Placement
+	mainline := 0
+	for i, c := range cands {
+		price := cfg.ReservePrice
+		if i+1 < len(cands) {
+			if denom := c.qual * c.rel; denom > 0 {
+				price = cands[i+1].score/denom + cfg.Increment
+			}
+		}
+		if price < cfg.ReservePrice {
+			price = cfg.ReservePrice
+		}
+		if price > c.bid {
+			price = c.bid
+		}
+		inMainline := mainline < cfg.MaxMainline && c.score >= cfg.MainlineScore
+		if inMainline {
+			mainline++
+		}
+		out = append(out, Placement{
+			Ref: c.ref, Position: i + 1, Mainline: inMainline,
+			Score: c.score, Price: price, Relevance: c.rel,
+		})
+	}
+	return out
+}
+
+// tieBook builds an eligible list with deliberate score collisions:
+// qualities and bids come from tiny discrete sets, so distinct ads tie
+// constantly and the ad-ID tie-break carries the ordering. Roughly half
+// the entries share an account with a neighbor, exercising the dedup.
+func tieBook(t *testing.T, rng *stats.RNG, n int) []platform.BidRef {
+	t.Helper()
+	qualities := []float64{0.2, 0.5, 0.5, 0.8}
+	bids := []float64{0.4, 1.0, 1.0, 2.5}
+	p := platform.New()
+	refs := make([]platform.BidRef, 0, n)
+	var acct *platform.Account
+	for i := 0; i < n; i++ {
+		if acct == nil || rng.Bool(0.5) {
+			acct = p.Register(platform.RegistrationRequest{Country: market.US, PrimaryVertical: verticals.Games})
+			if err := p.Approve(acct.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := qualities[rng.Intn(len(qualities))]
+		ad, err := p.CreateAd(acct.ID, verticals.Games, market.US, adcopy.Creative{}, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := platform.MatchTypes[rng.Intn(len(platform.MatchTypes))]
+		if err := p.AddBid(ad, platform.KeywordBid{KeywordID: 0, Cluster: 0, Match: m, MaxBid: bids[rng.Intn(len(bids))]}, 0); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, platform.BidRef{Ad: ad, Bid: ad.Bids[0]})
+	}
+	return refs
+}
+
+func placementsEqual(t *testing.T, trial int, got, want []Placement) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d: %d placements, reference has %d", trial, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Ref.Ad != w.Ref.Ad || g.Ref.Bid != w.Ref.Bid {
+			t.Fatalf("trial %d pos %d: ad %d (bid %v), reference ad %d", trial, i+1, g.Ref.Ad.ID, g.Ref.Bid.Match, w.Ref.Ad.ID)
+		}
+		if g != w {
+			t.Fatalf("trial %d pos %d: placement %+v != reference %+v", trial, i+1, g, w)
+		}
+	}
+}
+
+// TestTopKMatchesFullSort is the property test the RunInto comment cites:
+// across seeded random books — heavy with score ties and shared accounts,
+// in sizes from empty through well past the shown-slot count — the
+// bounded insertion is placement-for-placement identical to full sort
+// plus truncate.
+func TestTopKMatchesFullSort(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := stats.NewRNG(1306)
+	var scr Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(45) // below, at, and far above the 9 shown slots
+		refs := tieBook(t, rng, n)
+		form := []platform.QueryForm{platform.FormBare, platform.FormExtended, platform.FormReordered}[rng.Intn(3)]
+		got := RunInto(cfg, refs, form, &scr)
+		placementsEqual(t, trial, got.Placements, referenceRun(cfg, refs, form))
+		if got.Considered != len(refs) {
+			t.Fatalf("trial %d: considered %d of %d", trial, got.Considered, len(refs))
+		}
+	}
+}
+
+// TestTopKAllTied pins the pure tie case: every candidate identical in
+// score, more of them than slots — ordering must be exactly ascending ad
+// ID, the strict total order's tie-break.
+func TestTopKAllTied(t *testing.T) {
+	cfg := DefaultConfig()
+	entries := make([]entry, 20)
+	for i := range entries {
+		entries[i] = entry{quality: 0.5, bid: 1.0, match: platform.MatchExact}
+	}
+	refs := book(t, entries)
+	res := Run(cfg, refs, platform.FormBare)
+	if want := cfg.MaxMainline + cfg.MaxSidebar; len(res.Placements) != want {
+		t.Fatalf("%d placements, want %d", len(res.Placements), want)
+	}
+	for i, pl := range res.Placements {
+		if i > 0 && pl.Ref.Ad.ID <= res.Placements[i-1].Ref.Ad.ID {
+			t.Fatalf("tie not broken by ascending ad ID at position %d", i+1)
+		}
+	}
+	placementsEqual(t, 0, res.Placements, referenceRun(cfg, refs, platform.FormBare))
+}
+
+// TestRunIntoAllocs pins the auction hot path at zero steady-state
+// allocations — the regression guard for the pooled scratch and the
+// sort.Slice removal. A warm Scratch must absorb every buffer.
+func TestRunIntoAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := stats.NewRNG(7)
+	refs := tieBook(t, rng, 30)
+	var scr Scratch
+	RunInto(cfg, refs, platform.FormBare, &scr) // warm the scratch buffers
+	avg := testing.AllocsPerRun(100, func() {
+		RunInto(cfg, refs, platform.FormBare, &scr)
+	})
+	if avg != 0 {
+		t.Fatalf("RunInto allocates %.2f objects/op steady-state, want 0", avg)
+	}
+}

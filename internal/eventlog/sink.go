@@ -12,6 +12,29 @@ type Sink interface {
 	Append(Event)
 }
 
+// BatchSink is the optional bulk extension of Sink: sinks that can take
+// a whole day's staged events in one call implement it to amortize
+// per-event dispatch (and, for Async, one lock acquisition per batch
+// instead of per event). Use AppendAll to deliver through it.
+type BatchSink interface {
+	AppendBatch([]Event)
+}
+
+// AppendAll delivers evs to s in order, through AppendBatch when the sink
+// supports it and an Append loop otherwise. The slice is not retained.
+func AppendAll(s Sink, evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if b, ok := s.(BatchSink); ok {
+		b.AppendBatch(evs)
+		return
+	}
+	for i := range evs {
+		s.Append(evs[i])
+	}
+}
+
 // NopSink discards every event. It is the default sink wired through
 // the simulator: a nil-checked no-op that keeps the non-logging path at
 // its previous cost.
@@ -19,12 +42,18 @@ type NopSink struct{}
 
 func (NopSink) Append(Event) {}
 
+// AppendBatch discards the batch.
+func (NopSink) AppendBatch([]Event) {}
+
 // SliceSink collects events in memory, for tests and small replays.
 type SliceSink struct {
 	Events []Event
 }
 
 func (s *SliceSink) Append(ev Event) { s.Events = append(s.Events, ev) }
+
+// AppendBatch appends the whole batch in one copy.
+func (s *SliceSink) AppendBatch(evs []Event) { s.Events = append(s.Events, evs...) }
 
 // Async decouples emitters from a slow or blocking destination sink: it
 // buffers events in a bounded channel drained by one goroutine, and
@@ -86,6 +115,25 @@ func (a *Async) Append(ev Event) {
 	case a.ch <- ev:
 	default:
 		a.dropped++
+	}
+	a.mu.Unlock()
+}
+
+// AppendBatch enqueues the batch under one lock acquisition, with the
+// same per-event drop-not-block semantics as Append.
+func (a *Async) AppendBatch(evs []Event) {
+	a.mu.Lock()
+	if a.closed {
+		a.dropped += uint64(len(evs))
+		a.mu.Unlock()
+		return
+	}
+	for i := range evs {
+		select {
+		case a.ch <- evs[i]:
+		default:
+			a.dropped++
+		}
 	}
 	a.mu.Unlock()
 }

@@ -75,6 +75,14 @@ func (w *Writer) Append(ev Event) {
 	w.crc = crc32.Update(w.crc, castagnoli, frame)
 }
 
+// AppendBatch appends the batch in order with Append's sticky-error
+// semantics: events after the first failure are dropped and counted.
+func (w *Writer) AppendBatch(evs []Event) {
+	for i := range evs {
+		w.Append(evs[i])
+	}
+}
+
 func (w *Writer) fail(err error) {
 	w.err = err
 	w.dropped++
@@ -235,6 +243,13 @@ func (d *DirWriter) Append(ev Event) {
 			return
 		}
 		d.lastSync = d.seg.Bytes()
+	}
+}
+
+// AppendBatch appends the batch in order, rotating segments as needed.
+func (d *DirWriter) AppendBatch(evs []Event) {
+	for i := range evs {
+		d.Append(evs[i])
 	}
 }
 

@@ -11,14 +11,40 @@ type BidRef struct {
 	Bid *KeywordBid
 }
 
-// indexKey addresses a posting list: a vertical, a target market, and
-// either a concrete keyword (exact/phrase lists) or a similarity cluster
-// (broad lists).
-type indexKey struct {
+// vcKey addresses the per-(vertical, market) posting-list group. The two
+// string-typed components make it an expensive hash key, which is exactly
+// why the serving path resolves it once per (vertical, country) pair via
+// Sublists instead of once per query.
+type vcKey struct {
 	vertical verticals.Vertical
 	country  market.Country
-	kw       int32 // keyword ID, or cluster ID for broad lists
-	broad    bool
+}
+
+// entry is one posting-list slot. Besides the (ad, bid) pointers it caches
+// everything the eligibility filter needs — the current static score, the
+// owning account and the match type — so the hot scan touches a flat
+// 32-byte record instead of chasing two pointers per candidate.
+//
+// score is the *current* MaxBid × Quality, kept in sync by UpdateBid when
+// a bid amount changes in place. Lists are ordered by score at insertion
+// time and are not re-sorted on modification (agent bid tweaks are ±20%,
+// well inside the pruning margin), so a list is only approximately sorted
+// by current score; the removal fast path accounts for that.
+type entry struct {
+	ad    *Ad
+	bid   *KeywordBid
+	score float64
+	acct  AccountID
+	match MatchType
+}
+
+// postings groups the posting lists of one (vertical, market): exact and
+// phrase bids keyed by concrete keyword ID, broad bids keyed by similarity
+// cluster ID. int32-keyed maps use the runtime's fast map variants, unlike
+// the string-bearing composite key the flat layout needed.
+type postings struct {
+	kw    map[int32][]entry
+	broad map[int32][]entry
 }
 
 // Index is the serving-side bid index: for each (vertical, market,
@@ -34,7 +60,7 @@ type indexKey struct {
 // rely on. Bid modifications after insertion do not re-sort (agent bid
 // tweaks are ±20%, well inside the pruning margin).
 type Index struct {
-	lists map[indexKey][]BidRef
+	byVC map[vcKey]*postings
 
 	// epoch counts mutations that can change what a lookup returns:
 	// posting-list edits (AddBid/RemoveAd) and in-place bid-amount
@@ -55,42 +81,49 @@ const MaxPerList = 48
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{lists: make(map[indexKey][]BidRef)}
+	return &Index{byVC: make(map[vcKey]*postings)}
 }
 
-func keyFor(ad *Ad, bid *KeywordBid) indexKey {
+// listFor resolves the posting list map and key for a bid: broad bids live
+// under their cluster, exact/phrase bids under their concrete keyword.
+func (ps *postings) listFor(bid *KeywordBid) (map[int32][]entry, int32) {
 	if bid.Match == MatchBroad {
-		return indexKey{ad.Vertical, ad.Target, int32(bid.Cluster), true}
+		return ps.broad, int32(bid.Cluster)
 	}
-	return indexKey{ad.Vertical, ad.Target, int32(bid.KeywordID), false}
+	return ps.kw, int32(bid.KeywordID)
 }
-
-// staticScore is the sort key for posting lists.
-func staticScore(ref BidRef) float64 { return ref.Bid.MaxBid * ref.Ad.Quality }
 
 // AddBid registers a bid in its posting list, preserving descending
-// static-score order via binary insertion.
+// static-score order via binary insertion. Probes compare the cached
+// current scores, which equal MaxBid × Quality at all times (UpdateBid
+// maintains the invariant), so insertion positions are identical to
+// recomputing the score per probe.
 func (x *Index) AddBid(ad *Ad, bid *KeywordBid) {
 	x.epoch++
-	k := keyFor(ad, bid)
-	list := x.lists[k]
-	ref := BidRef{Ad: ad, Bid: bid}
-	s := staticScore(ref)
+	k := vcKey{ad.Vertical, ad.Target}
+	ps := x.byVC[k]
+	if ps == nil {
+		ps = &postings{kw: make(map[int32][]entry), broad: make(map[int32][]entry)}
+		x.byVC[k] = ps
+	}
+	m, id := ps.listFor(bid)
+	list := m[id]
+	s := bid.MaxBid * ad.Quality
 	// Binary search for the insertion point (first element with a lower
 	// score).
 	lo, hi := 0, len(list)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if staticScore(list[mid]) >= s {
+		if list[mid].score >= s {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	list = append(list, BidRef{})
+	list = append(list, entry{})
 	copy(list[lo+1:], list[lo:])
-	list[lo] = ref
-	x.lists[k] = list
+	list[lo] = entry{ad: ad, bid: bid, score: s, acct: ad.Account, match: bid.Match}
+	m[id] = list
 }
 
 // Epoch returns the index's mutation counter. Two lookups bracketed by
@@ -105,23 +138,69 @@ func (x *Index) Epoch() uint64 { return x.epoch }
 // a max-bid modification).
 func (x *Index) BumpEpoch() { x.epoch++ }
 
-// RemoveAd drops all of an ad's bids from the index.
+// findEntry locates a bid's slot in a posting list. The fast path binary
+// searches by the entry's current score s and scans the equal-score run;
+// because in-place bid modifications leave neighbors out of order, a
+// misdirected search falls back to a full scan. Returns -1 if absent.
+func findEntry(list []entry, bid *KeywordBid, s float64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].score > s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(list) && list[i].score == s; i++ {
+		if list[i].bid == bid {
+			return i
+		}
+	}
+	for i := range list {
+		if list[i].bid == bid {
+			return i
+		}
+	}
+	return -1
+}
+
+// UpdateBid re-syncs a bid's cached posting-list score ahead of an
+// in-place amount change. Call with the OLD amount still in bid.MaxBid
+// (the old score is the lookup key); the caller writes the new amount
+// after. Bids that are not indexed (paused ads) are ignored.
+func (x *Index) UpdateBid(ad *Ad, bid *KeywordBid, newMax float64) {
+	ps := x.byVC[vcKey{ad.Vertical, ad.Target}]
+	if ps == nil {
+		return
+	}
+	m, id := ps.listFor(bid)
+	list := m[id]
+	if i := findEntry(list, bid, bid.MaxBid*ad.Quality); i >= 0 {
+		list[i].score = newMax * ad.Quality
+	}
+}
+
+// RemoveAd drops all of an ad's bids from the index. Each bid is located
+// by score-guided binary search (with a full-scan fallback for entries
+// displaced by in-place modifications) and removed with a single tail
+// copy, instead of rewriting every touched list.
 func (x *Index) RemoveAd(ad *Ad) {
 	x.epoch++
+	ps := x.byVC[vcKey{ad.Vertical, ad.Target}]
+	if ps == nil {
+		return
+	}
 	for _, bid := range ad.Bids {
-		k := keyFor(ad, bid)
-		list := x.lists[k]
-		out := list[:0]
-		for _, ref := range list {
-			if ref.Ad != ad {
-				out = append(out, ref)
-			}
+		m, id := ps.listFor(bid)
+		list := m[id]
+		i := findEntry(list, bid, bid.MaxBid*ad.Quality)
+		if i < 0 {
+			continue
 		}
-		if len(out) == 0 {
-			delete(x.lists, k)
-		} else {
-			x.lists[k] = out
-		}
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = entry{} // release the pointers for GC
+		m[id] = list[:len(list)-1]
 	}
 }
 
@@ -171,6 +250,76 @@ func Matches(m MatchType, bidKw, queryKw int, sameCluster bool, form QueryForm) 
 	}
 }
 
+// Sublists is a resolved (vertical, market) handle into the index: the
+// two expensive composite-key map lookups are paid once, after which each
+// query costs two int32 map probes. A handle is valid for the epoch it
+// was resolved in — resolve again after the epoch advances (a pair with
+// no lists yet resolves to an empty handle, and lists appearing later
+// always bump the epoch).
+type Sublists struct {
+	ps *postings
+}
+
+// Sublists resolves the posting-list group for a (vertical, market) pair.
+func (x *Index) Sublists(v verticals.Vertical, c market.Country) Sublists {
+	return Sublists{ps: x.byVC[vcKey{v, c}]}
+}
+
+// EligibleAppendLive is the hot serving path: like EligibleAppend but the
+// liveness check is a dense array load (live[account]) instead of a
+// closure call, and the match filter reads the entry's cached match type.
+// live must cover every account with indexed bids — use Platform.LiveSet,
+// which restamps whenever the index epoch moves.
+//
+// Inactive ads never appear in posting lists (every deactivation path
+// goes through PauseAd → RemoveAd before the ad's bids are released), so
+// no per-entry Active check is needed.
+func (s Sublists) EligibleAppendLive(dst []BidRef, kw, cl int, form QueryForm, live []bool) []BidRef {
+	if s.ps == nil {
+		return dst
+	}
+	// Exact + phrase lists are keyed by the concrete keyword. A bare query
+	// is accepted by both match types; an extended query only by phrase;
+	// a reordered query by neither, so the whole scan is skipped.
+	if form != FormReordered {
+		phraseOnly := form == FormExtended
+		taken := 0
+		list := s.ps.kw[int32(kw)]
+		for i := range list {
+			if taken >= MaxPerList {
+				break
+			}
+			e := &list[i]
+			if !live[e.acct] || (phraseOnly && e.match != MatchPhrase) {
+				continue
+			}
+			dst = append(dst, BidRef{Ad: e.ad, Bid: e.bid})
+			taken++
+		}
+	}
+	// Broad lists are keyed by cluster; every entry matches by definition.
+	taken := 0
+	list := s.ps.broad[int32(cl)]
+	for i := range list {
+		if taken >= MaxPerList {
+			break
+		}
+		e := &list[i]
+		if !live[e.acct] {
+			continue
+		}
+		dst = append(dst, BidRef{Ad: e.ad, Bid: e.bid})
+		taken++
+	}
+	return dst
+}
+
+// EligibleAppendLive is the index-level convenience wrapper around
+// Sublists resolution plus the dense-liveness scan.
+func (x *Index) EligibleAppendLive(dst []BidRef, v verticals.Vertical, c market.Country, kw, cl int, form QueryForm, live []bool) []BidRef {
+	return x.Sublists(v, c).EligibleAppendLive(dst, kw, cl, form, live)
+}
+
 // Eligible enumerates the bids eligible for a query in the given vertical
 // and market on keyword kw (cluster cl) with the given form. Bids from
 // inactive ads or non-active accounts are filtered via the liveness check.
@@ -179,38 +328,44 @@ func (x *Index) Eligible(v verticals.Vertical, c market.Country, kw, cl int, for
 	return x.EligibleAppend(nil, v, c, kw, cl, form, alive)
 }
 
-// EligibleAppend is the allocation-free variant of Eligible: results are
-// appended to dst (which may be a reused scratch buffer) and the extended
-// slice is returned. The serving loop calls this millions of times per
-// simulated run.
+// EligibleAppend is the allocation-free closure-predicate variant of
+// Eligible: results are appended to dst (which may be a reused scratch
+// buffer) and the extended slice is returned. Callers that serve queries
+// in bulk should prefer EligibleAppendLive with a stamped liveness slice.
 func (x *Index) EligibleAppend(dst []BidRef, v verticals.Vertical, c market.Country, kw, cl int, form QueryForm, alive func(AccountID) bool) []BidRef {
-	// Exact + phrase lists are keyed by the concrete keyword; filter by
-	// form inline. Lists are score-sorted, so stop after MaxPerList live
-	// candidates — everything further down cannot outrank them.
+	ps := x.byVC[vcKey{v, c}]
+	if ps == nil {
+		return dst
+	}
+	// Lists are score-sorted, so stop after MaxPerList live candidates —
+	// everything further down cannot outrank them.
 	taken := 0
-	for _, ref := range x.lists[indexKey{v, c, int32(kw), false}] {
+	kwList := ps.kw[int32(kw)]
+	for i := range kwList {
 		if taken >= MaxPerList {
 			break
 		}
-		if !ref.Ad.Active || !alive(ref.Ad.Account) {
+		e := &kwList[i]
+		if !e.ad.Active || !alive(e.acct) {
 			continue
 		}
-		if !Matches(ref.Bid.Match, ref.Bid.KeywordID, kw, true, form) {
+		if !Matches(e.match, e.bid.KeywordID, kw, true, form) {
 			continue
 		}
-		dst = append(dst, ref)
+		dst = append(dst, BidRef{Ad: e.ad, Bid: e.bid})
 		taken++
 	}
-	// Broad lists are keyed by cluster; every entry matches by definition.
 	taken = 0
-	for _, ref := range x.lists[indexKey{v, c, int32(cl), true}] {
+	brList := ps.broad[int32(cl)]
+	for i := range brList {
 		if taken >= MaxPerList {
 			break
 		}
-		if !ref.Ad.Active || !alive(ref.Ad.Account) {
+		e := &brList[i]
+		if !e.ad.Active || !alive(e.acct) {
 			continue
 		}
-		dst = append(dst, ref)
+		dst = append(dst, BidRef{Ad: e.ad, Bid: e.bid})
 		taken++
 	}
 	return dst
@@ -219,8 +374,13 @@ func (x *Index) EligibleAppend(dst []BidRef, v verticals.Vertical, c market.Coun
 // Len returns the total number of indexed bids (for tests and stats).
 func (x *Index) Len() int {
 	n := 0
-	for _, l := range x.lists {
-		n += len(l)
+	for _, ps := range x.byVC {
+		for _, l := range ps.kw {
+			n += len(l)
+		}
+		for _, l := range ps.broad {
+			n += len(l)
+		}
 	}
 	return n
 }

@@ -21,6 +21,11 @@ type Platform struct {
 	index    *Index
 	ledger   *Ledger
 	events   eventlog.Sink
+
+	// Dense account-liveness stamp for the serving hot path; see LiveSet.
+	liveSet   []bool
+	liveEpoch uint64
+	liveValid bool
 }
 
 // New returns an empty platform.
@@ -189,6 +194,34 @@ func (p *Platform) Ledger() *Ledger { return p.ledger }
 // Index returns the eligible-bid index (read-only use by the auction).
 func (p *Platform) Index() *Index { return p.index }
 
+// LiveSet returns a dense liveness bitmap indexed by AccountID, for use
+// with Index.EligibleAppendLive: live[id] is true iff the account is in
+// StatusActive. The stamp is cached and keyed on the index epoch, which
+// is sound because every liveness transition of an account with indexed
+// bids removes those bids (and so bumps the epoch), and accounts that
+// change liveness without touching the index have nothing a lookup could
+// return. Fraud flags are intentionally NOT part of the stamp — they are
+// read live per impression (the PR 5 rule).
+//
+// Single-writer contract: call from the mutating goroutine (stamp once
+// before fanning out read-only serving workers). The returned slice is
+// owned by the platform and valid until the next mutation.
+func (p *Platform) LiveSet() []bool {
+	if !p.liveValid || p.liveEpoch != p.index.epoch || len(p.liveSet) != len(p.accounts) {
+		if cap(p.liveSet) < len(p.accounts) {
+			p.liveSet = make([]bool, len(p.accounts))
+		} else {
+			p.liveSet = p.liveSet[:len(p.accounts)]
+		}
+		for i, a := range p.accounts {
+			p.liveSet[i] = a.Status == StatusActive
+		}
+		p.liveEpoch = p.index.epoch
+		p.liveValid = true
+	}
+	return p.liveSet
+}
+
 // CreateAd posts a new ad for an active account. The ad starts with no
 // keyword bids; attach them with AddBid.
 func (p *Platform) CreateAd(acct AccountID, v verticals.Vertical, target market.Country, creative adcopy.Creative, quality float64, at simclock.Stamp) (*Ad, error) {
@@ -239,6 +272,46 @@ func (p *Platform) AddBid(ad *Ad, bid KeywordBid, at simclock.Stamp) error {
 	return nil
 }
 
+// AddBidsBatch attaches a set of keyword bids to an ad in order, with the
+// same per-bid semantics as AddBid (non-positive amounts are skipped, an
+// inactive ad accepts nothing) but one exact-size backing allocation for
+// the whole batch instead of one heap object per bid. The backing array's
+// lifetime matches the ad's, so retiring the ad releases the whole batch
+// at once. Returns the number of bids accepted.
+func (p *Platform) AddBidsBatch(ad *Ad, bids []KeywordBid, at simclock.Stamp) int {
+	if !ad.Active {
+		return 0
+	}
+	n := 0
+	for i := range bids {
+		if bids[i].MaxBid > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	arr := make([]KeywordBid, 0, n)
+	if free := cap(ad.Bids) - len(ad.Bids); free < n {
+		grown := make([]*KeywordBid, len(ad.Bids), len(ad.Bids)+n)
+		copy(grown, ad.Bids)
+		ad.Bids = grown
+	}
+	acct := p.MustAccount(ad.Account)
+	for i := range bids {
+		if bids[i].MaxBid <= 0 {
+			continue
+		}
+		arr = append(arr, bids[i])
+		b := &arr[len(arr)-1]
+		b.Created = at
+		ad.Bids = append(ad.Bids, b)
+		acct.KeywordsCreated++
+		p.index.AddBid(ad, b)
+	}
+	return n
+}
+
 // ModifyAd records a creative modification (counted for Figure 7c) and
 // swaps the ad's creative.
 func (p *Platform) ModifyAd(ad *Ad, creative adcopy.Creative) {
@@ -250,6 +323,9 @@ func (p *Platform) ModifyAd(ad *Ad, creative adcopy.Creative) {
 // the max bid in place. The index holds pointers, so no reindex is needed.
 func (p *Platform) ModifyBid(ad *Ad, bid *KeywordBid, newMax float64) {
 	if newMax > 0 {
+		// Re-sync the cached posting-list score while the old amount is
+		// still in place (it is the lookup key), then write the new one.
+		p.index.UpdateBid(ad, bid, newMax)
 		bid.MaxBid = newMax
 		// The index holds the bid by pointer and never observes this
 		// write; invalidate epoch-keyed eligibility caches explicitly.

@@ -89,9 +89,27 @@ func (p *Platform) Snapshot() *Snapshot {
 		}
 	}
 
-	keys := make([]indexKey, 0, len(p.index.lists))
-	for k := range p.index.lists {
-		keys = append(keys, k)
+	// Flatten the two-level index into (vertical, country, kw, broad)
+	// keyed lists, sorted for byte-determinism. Lists emptied by ad
+	// removal keep their map slot for capacity reuse but are skipped here.
+	type flatKey struct {
+		vertical verticals.Vertical
+		country  market.Country
+		kw       int32
+		broad    bool
+	}
+	keys := make([]flatKey, 0, len(p.index.byVC))
+	for vc, ps := range p.index.byVC {
+		for id, list := range ps.kw {
+			if len(list) > 0 {
+				keys = append(keys, flatKey{vc.vertical, vc.country, id, false})
+			}
+		}
+		for id, list := range ps.broad {
+			if len(list) > 0 {
+				keys = append(keys, flatKey{vc.vertical, vc.country, id, true})
+			}
+		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
@@ -108,10 +126,14 @@ func (p *Platform) Snapshot() *Snapshot {
 	})
 	st.Index = make([]IndexEntry, 0, len(keys))
 	for _, k := range keys {
-		list := p.index.lists[k]
+		ps := p.index.byVC[vcKey{k.vertical, k.country}]
+		list := ps.kw[k.kw]
+		if k.broad {
+			list = ps.broad[k.kw]
+		}
 		e := IndexEntry{Vertical: k.vertical, Country: k.country, Kw: k.kw, Broad: k.broad, Refs: make([]IndexRef, len(list))}
-		for i, ref := range list {
-			bp, ok := pos[ref.Bid]
+		for i := range list {
+			bp, ok := pos[list[i].bid]
 			if !ok {
 				// Cannot happen with the maintained invariants (RemoveAd
 				// drops bids before Bids is released); guard anyway so a
@@ -163,8 +185,12 @@ func FromSnapshot(st *Snapshot) (*Platform, error) {
 	}
 
 	for _, e := range st.Index {
-		k := indexKey{e.Vertical, e.Country, e.Kw, e.Broad}
-		list := make([]BidRef, 0, len(e.Refs))
+		ps := p.index.byVC[vcKey{e.Vertical, e.Country}]
+		if ps == nil {
+			ps = &postings{kw: make(map[int32][]entry), broad: make(map[int32][]entry)}
+			p.index.byVC[vcKey{e.Vertical, e.Country}] = ps
+		}
+		list := make([]entry, 0, len(e.Refs))
 		for _, ref := range e.Refs {
 			ad, ok := adByID[ref.Ad]
 			if !ok {
@@ -177,9 +203,17 @@ func FromSnapshot(st *Snapshot) (*Platform, error) {
 			if b == nil {
 				return nil, fmt.Errorf("platform: snapshot ad %d holds a nil bid", ref.Ad)
 			}
-			list = append(list, BidRef{Ad: ad, Bid: b})
+			// The cached score invariant is "current MaxBid × Quality"
+			// (UpdateBid keeps it synced through in-place modifications),
+			// so recomputing from the serialized amounts restores the
+			// live run's exact values.
+			list = append(list, entry{ad: ad, bid: b, score: b.MaxBid * ad.Quality, acct: ad.Account, match: b.Match})
 		}
-		p.index.lists[k] = list
+		if e.Broad {
+			ps.broad[e.Kw] = list
+		} else {
+			ps.kw[e.Kw] = list
+		}
 	}
 
 	for _, e := range st.Billed {

@@ -25,6 +25,7 @@ package sim
 // different worker count.
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -73,6 +74,38 @@ type PhaseTimes struct {
 // seeded run.
 func (s *Sim) SetPhaseTimes(t *PhaseTimes) { s.timing = t }
 
+// PhaseAllocs accumulates heap allocation counts — runtime.MemStats
+// Mallocs deltas — per day-loop phase; attach with SetPhaseAllocs. Each
+// ReadMemStats costs a brief stop-the-world, so the benchmark harness
+// measures allocations in a separate untimed pass rather than polluting
+// the wall-clock numbers (see measureDayloop). The counters are global to
+// the process: concurrent allocation outside the sim is attributed to
+// whatever phase is running, which is fine for the regression pins this
+// feeds (they compare like against like).
+type PhaseAllocs struct {
+	Arrivals  uint64
+	Agents    uint64
+	Serving   uint64
+	Detection uint64
+}
+
+// Total sums the per-phase allocation counts.
+func (a *PhaseAllocs) Total() uint64 {
+	return a.Arrivals + a.Agents + a.Serving + a.Detection
+}
+
+// SetPhaseAllocs attaches (or with nil detaches) a per-phase allocation
+// accumulator. Counting only reads runtime statistics; it never perturbs
+// a seeded run.
+func (s *Sim) SetPhaseAllocs(a *PhaseAllocs) { s.allocs = a }
+
+// mallocs reads the cumulative heap allocation counter.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
 // Phase returns the next phase StepPhase will run.
 func (s *Sim) Phase() Phase { return s.phase }
 
@@ -97,11 +130,18 @@ func (s *Sim) StepPhase() bool {
 	if s.timing != nil {
 		t0 = time.Now()
 	}
+	var m0 uint64
+	if s.allocs != nil {
+		m0 = mallocs()
+	}
 	switch s.phase {
 	case PhaseArrivals:
 		s.arrivalsPhase(day)
 		if s.timing != nil {
 			s.timing.Arrivals += time.Since(t0)
+		}
+		if s.allocs != nil {
+			s.allocs.Arrivals += mallocs() - m0
 		}
 		s.phase = PhaseAgents
 	case PhaseAgents:
@@ -109,17 +149,26 @@ func (s *Sim) StepPhase() bool {
 		if s.timing != nil {
 			s.timing.Agents += time.Since(t0)
 		}
+		if s.allocs != nil {
+			s.allocs.Agents += mallocs() - m0
+		}
 		s.phase = PhaseServing
 	case PhaseServing:
 		s.serveQueries(day)
 		if s.timing != nil {
 			s.timing.Serving += time.Since(t0)
 		}
+		if s.allocs != nil {
+			s.allocs.Serving += mallocs() - m0
+		}
 		s.phase = PhaseDetection
 	case PhaseDetection:
 		s.detectionPhase(day)
 		if s.timing != nil {
 			s.timing.Detection += time.Since(t0)
+		}
+		if s.allocs != nil {
+			s.allocs.Detection += mallocs() - m0
 		}
 		s.phase = PhaseArrivals
 		s.day++

@@ -55,7 +55,8 @@ func BenchmarkStepDay(b *testing.B) {
 }
 
 // DayloopBenchMode is one measured worker configuration, with the day
-// cost split by phase.
+// cost split by phase — wall time from the timed pass, heap allocation
+// counts from a separate untimed pass (see measureDayloop).
 type DayloopBenchMode struct {
 	Workers           int     `json:"workers"`
 	MeasuredDays      int     `json:"measured_days"`
@@ -64,6 +65,12 @@ type DayloopBenchMode struct {
 	AgentsNsPerDay    float64 `json:"agents_ns_per_day"`
 	ServingNsPerDay   float64 `json:"serving_ns_per_day"`
 	DetectionNsPerDay float64 `json:"detection_ns_per_day"`
+
+	AllocsPerDay          float64 `json:"allocs_per_day"`
+	ArrivalsAllocsPerDay  float64 `json:"arrivals_allocs_per_day"`
+	AgentsAllocsPerDay    float64 `json:"agents_allocs_per_day"`
+	ServingAllocsPerDay   float64 `json:"serving_allocs_per_day"`
+	DetectionAllocsPerDay float64 `json:"detection_allocs_per_day"`
 }
 
 // DayloopBenchReport is the BENCH_dayloop.json schema.
@@ -95,6 +102,24 @@ func measureDayloop(tb testing.TB, state []byte, workers, days int) DayloopBench
 	}
 	elapsed := time.Since(start)
 	d := float64(days)
+
+	// Allocation pass, off the clock: a fresh restore walks the same days
+	// with the PhaseAllocs hook attached. Separate from the timed loop so
+	// the wall-clock numbers never pay the hook's ReadMemStats
+	// stop-the-world pauses.
+	s = restoreServing(tb, state, workers)
+	s.Step() // same shakedown as the timed pass
+	var pa PhaseAllocs
+	s.SetPhaseAllocs(&pa)
+	total0 := mallocs()
+	for i := 0; i < days; i++ {
+		if s.day >= s.cfg.Days {
+			tb.Fatal("warmed horizon too short for the allocation window")
+		}
+		s.Step()
+	}
+	total := mallocs() - total0
+
 	return DayloopBenchMode{
 		Workers:           workers,
 		MeasuredDays:      days,
@@ -103,6 +128,12 @@ func measureDayloop(tb testing.TB, state []byte, workers, days int) DayloopBench
 		AgentsNsPerDay:    float64(pt.Agents.Nanoseconds()) / d,
 		ServingNsPerDay:   float64(pt.Serving.Nanoseconds()) / d,
 		DetectionNsPerDay: float64(pt.Detection.Nanoseconds()) / d,
+
+		AllocsPerDay:          float64(total) / d,
+		ArrivalsAllocsPerDay:  float64(pa.Arrivals) / d,
+		AgentsAllocsPerDay:    float64(pa.Agents) / d,
+		ServingAllocsPerDay:   float64(pa.Serving) / d,
+		DetectionAllocsPerDay: float64(pa.Detection) / d,
 	}
 }
 
@@ -114,8 +145,9 @@ func dayloopBenchReport(tb testing.TB, state []byte, cfgName string, workerCount
 	for _, w := range workerCounts {
 		modes = append(modes, measureDayloop(tb, state, w, days))
 	}
-	note := "wall time per simulated day, split by phase (arrivals is sequential by design; " +
-		"agents, serving and detection parallelize with workers)"
+	note := "wall time and heap allocations per simulated day, split by phase (arrivals is " +
+		"sequential by design; agents, serving and detection parallelize with workers); " +
+		"allocation counts come from an untimed second pass over the same days"
 	if procs == 1 {
 		note += "; HOST HAS 1 CPU: multi-worker modes run time-sliced on one core, " +
 			"so the parallel speedup is not observable here — rerun on a multi-core host"
@@ -174,6 +206,16 @@ func TestDayloopBenchReportSmoke(t *testing.T) {
 		phases := m.ArrivalsNsPerDay + m.AgentsNsPerDay + m.ServingNsPerDay + m.DetectionNsPerDay
 		if phases <= 0 || phases > m.NsPerDay*1.01 {
 			t.Fatalf("phase split inconsistent with day total: %+v", m)
+		}
+		if m.AllocsPerDay <= 0 {
+			t.Fatalf("allocation pass measured nothing: %+v", m)
+		}
+		allocPhases := m.ArrivalsAllocsPerDay + m.AgentsAllocsPerDay + m.ServingAllocsPerDay + m.DetectionAllocsPerDay
+		// The whole-day total brackets the phase brackets (plus the hook's
+		// own ReadMemStats bookkeeping), so the split can never exceed it
+		// by more than that slack.
+		if allocPhases <= 0 || allocPhases > m.AllocsPerDay+64 {
+			t.Fatalf("allocation split inconsistent with day total: %+v", m)
 		}
 	}
 	b, err := json.Marshal(rep)

@@ -62,15 +62,48 @@ type pageKey struct {
 }
 
 // page is one cached auction outcome: the placements, each placement's
-// click probability, its ad's vertical index, and how many click-RNG
-// draws rolling the page consumes (one per probability strictly inside
-// (0,1) — exactly what clicks.Model.SimulateInto would draw).
+// click probability, its ad's vertical index, the owning account (the
+// fraud-presence loops read the flag straight off the pointer), and how
+// many click-RNG draws rolling the page consumes (one per probability
+// strictly inside (0,1) — exactly what clicks.Model.SimulateInto would
+// draw).
 type page struct {
 	placements []auction.Placement
 	cps        []float64
 	vis        []int32
+	accts      []*platform.Account
 	draws      int32
 }
+
+// pagePool recycles page structs and their backing slices across epochs:
+// pages live exactly as long as the cache that holds them, so when the
+// cache is invalidated the pool rewinds and the next day's misses reuse
+// the same storage instead of reallocating four slices per page.
+type pagePool struct {
+	chunks [][]page
+	used   int
+}
+
+const pageChunk = 512
+
+func (pp *pagePool) get() *page {
+	ci, pi := pp.used/pageChunk, pp.used%pageChunk
+	if ci == len(pp.chunks) {
+		pp.chunks = append(pp.chunks, make([]page, pageChunk))
+	}
+	pp.used++
+	pg := &pp.chunks[ci][pi]
+	pg.placements = pg.placements[:0]
+	pg.cps = pg.cps[:0]
+	pg.vis = pg.vis[:0]
+	pg.accts = pg.accts[:0]
+	pg.draws = 0
+	return pg
+}
+
+// reset rewinds the pool; only safe when every page handed out is dead
+// (i.e. together with clearing the page cache).
+func (pp *pagePool) reset() { pp.used = 0 }
 
 // maxPageEntries bounds one shard's cache; past it, pages are still
 // computed but no longer retained. A full-scale day has ~15k distinct
@@ -85,12 +118,26 @@ type servePage struct {
 	fraudShown int32
 }
 
+// subEntry is one resolved (vertical, country) → posting-list handle in
+// a shard's sublist cache.
+type subEntry struct {
+	country market.Country
+	sl      platform.Sublists
+}
+
 // shard is one worker's private serving state.
 type shard struct {
 	// Page cache, valid for one index epoch.
 	cache    map[pageKey]*page
 	epoch    uint64
 	hasEpoch bool
+	pool     pagePool
+
+	// Sublist cache, also epoch-scoped: the index's composite (vertical,
+	// country) map key hashes two strings, so each shard resolves it once
+	// per pair per epoch instead of once per query. Outer slice indexed
+	// by vertical index; inner lists hold a handful of countries.
+	subs [][]subEntry
 
 	// Scratch reused across queries.
 	eligBuf  []platform.BidRef
@@ -128,41 +175,63 @@ func (e *serveEngine) bounds(k, n int) (int, int) {
 	return k * n / e.workers, (k + 1) * n / e.workers
 }
 
-// ensureEpoch drops every cached page when the index has mutated since
-// the cache was filled (or on first use).
+// ensureEpoch drops every cached page (and rewinds the page pool and
+// sublist cache) when the index has mutated since the cache was filled,
+// or on first use.
 func (sh *shard) ensureEpoch(epoch uint64) {
 	if sh.cache == nil {
 		sh.cache = make(map[pageKey]*page, 1024)
 	}
+	if sh.subs == nil {
+		sh.subs = make([][]subEntry, len(verticals.All()))
+	}
 	if !sh.hasEpoch || sh.epoch != epoch {
 		clear(sh.cache)
+		sh.pool.reset()
+		for i := range sh.subs {
+			sh.subs[i] = sh.subs[i][:0]
+		}
 		sh.epoch = epoch
 		sh.hasEpoch = true
 	}
 }
 
+// sublists resolves the query's (vertical, country) posting-list handle
+// through the shard's epoch-scoped cache.
+func (sh *shard) sublists(s *Sim, q *queries.Query) platform.Sublists {
+	row := sh.subs[q.VerticalIdx]
+	for i := range row {
+		if row[i].country == q.Country {
+			return row[i].sl
+		}
+	}
+	sl := s.p.Index().Sublists(q.Vertical, q.Country)
+	sh.subs[q.VerticalIdx] = append(row, subEntry{q.Country, sl})
+	return sl
+}
+
 // page resolves a query's eligibility and auction through the cache.
 // Hot Zipf-head queries repeat heavily within a day while the index is
 // frozen, so the hit path skips both the posting-list walk and the
-// auction. Empty outcomes are cached too.
-func (sh *shard) page(s *Sim, q *queries.Query, alive func(platform.AccountID) bool) *page {
+// auction. Empty outcomes are cached too. live is the day's stamped
+// account-liveness bitmap (platform.LiveSet).
+func (sh *shard) page(s *Sim, q *queries.Query, live []bool) *page {
 	key := pageKey{int32(q.VerticalIdx), int32(q.KeywordID), int32(q.Cluster), q.Form, q.Country}
 	if pg, ok := sh.cache[key]; ok {
 		return pg
 	}
-	pg := &page{}
-	sh.eligBuf = s.p.Index().EligibleAppend(sh.eligBuf[:0], q.Vertical, q.Country, q.KeywordID, q.Cluster, q.Form, alive)
+	pg := sh.pool.get()
+	sh.eligBuf = sh.sublists(s, q).EligibleAppendLive(sh.eligBuf[:0], q.KeywordID, q.Cluster, q.Form, live)
 	if len(sh.eligBuf) > 0 {
 		res := auction.RunInto(s.cfg.Auction, sh.eligBuf, q.Form, &sh.scr)
-		if n := len(res.Placements); n > 0 {
-			pg.placements = make([]auction.Placement, n)
-			copy(pg.placements, res.Placements)
-			pg.cps = make([]float64, n)
-			pg.vis = make([]int32, n)
+		if len(res.Placements) > 0 {
+			pg.placements = append(pg.placements, res.Placements...)
 			for i := range pg.placements {
-				cp := s.model.ClickProbability(pg.placements[i])
-				pg.cps[i] = cp
-				pg.vis[i] = int32(verticals.Index(pg.placements[i].Ref.Ad.Vertical))
+				pl := &pg.placements[i]
+				cp := s.model.ClickProbability(*pl)
+				pg.cps = append(pg.cps, cp)
+				pg.vis = append(pg.vis, int32(verticals.Index(pl.Ref.Ad.Vertical)))
+				pg.accts = append(pg.accts, s.p.MustAccount(pl.Ref.Ad.Account))
 				if cp > 0 && cp < 1 {
 					pg.draws++
 				}
@@ -206,7 +275,9 @@ func (s *Sim) serveQueries(day simclock.Day) {
 
 // serveQueriesSequential is the fused single-goroutine loop: one pass
 // per query doing auction (via the page cache), click rolls off the
-// master click stream, and immediate folds.
+// master click stream, and immediate folds. Events are staged in the
+// shard buffer and flushed in one batch at the end of the phase — the
+// order the sink sees is unchanged.
 func (s *Sim) serveQueriesSequential(day simclock.Day) {
 	sh := s.eng.shards[0]
 	sh.ensureEpoch(s.p.Index().Epoch())
@@ -214,10 +285,11 @@ func (s *Sim) serveQueriesSequential(day simclock.Day) {
 	if s.shardSinks != nil {
 		sink = s.shardSinks[0]
 	}
-	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
+	sh.events = sh.events[:0]
+	live := s.p.LiveSet()
 	for i := 0; i < s.cfg.QueriesPerDay; i++ {
 		q := s.qgen.Next()
-		pg := sh.page(s, &q, alive)
+		pg := sh.page(s, &q, live)
 		if len(pg.placements) == 0 {
 			continue
 		}
@@ -227,8 +299,8 @@ func (s *Sim) serveQueriesSequential(day simclock.Day) {
 		// when another shown ad belongs to a fraudulent account. Never
 		// cached — fraud flags flip without an index mutation.
 		fraudShown := 0
-		for _, pl := range pg.placements {
-			if s.p.MustAccount(pl.Ref.Ad.Account).Fraud {
+		for _, a := range pg.accts {
+			if a.Fraud {
 				fraudShown++
 			}
 		}
@@ -239,7 +311,7 @@ func (s *Sim) serveQueriesSequential(day simclock.Day) {
 		ci := 0
 		for pi := range pg.placements {
 			pl := &pg.placements[pi]
-			acct := s.p.MustAccount(pl.Ref.Ad.Account)
+			acct := pg.accts[pi]
 			isFraud := acct.Fraud
 			fraudComp := fraudShown > 0
 			if isFraud {
@@ -273,7 +345,7 @@ func (s *Sim) serveQueriesSequential(day simclock.Day) {
 				if wasClicked {
 					flags |= eventlog.FlagClicked
 				}
-				sink.Append(eventlog.Event{
+				sh.events = append(sh.events, eventlog.Event{
 					Type:     eventlog.TypeImpression,
 					Day:      int32(day),
 					Account:  int32(acct.ID),
@@ -286,6 +358,9 @@ func (s *Sim) serveQueriesSequential(day simclock.Day) {
 				})
 			}
 		}
+	}
+	if sink != nil {
+		eventlog.AppendAll(sink, sh.events)
 	}
 }
 
@@ -309,6 +384,9 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 
 	epoch := s.p.Index().Epoch()
 	nWin := s.col.ActiveWindowCount(day)
+	// Stamp the liveness bitmap on the simulation goroutine before the
+	// fan-out; workers read it concurrently but never write.
+	live := s.p.LiveSet()
 
 	// Phase B: eligibility + auctions against the frozen index.
 	var wg sync.WaitGroup
@@ -316,7 +394,7 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			s.shardAuctions(day, k, n, nWin, epoch)
+			s.shardAuctions(day, k, n, nWin, epoch, live)
 		}(k)
 	}
 	wg.Wait()
@@ -358,9 +436,7 @@ func (s *Sim) serveQueriesSharded(day simclock.Day) {
 			s.col.ApplyClick(day, *row)
 		}
 		if sink := s.shardSinkFor(k); sink != nil {
-			for i := range sh.events {
-				sink.Append(sh.events[i])
-			}
+			eventlog.AppendAll(sink, sh.events)
 		}
 	}
 }
@@ -379,7 +455,7 @@ func (s *Sim) shardSinkFor(k int) eventlog.Sink {
 // shardAuctions is phase B for one worker: resolve every query in the
 // block through the page cache and record its draw count. All writes are
 // shard-private or to this block's slice of e.draws.
-func (s *Sim) shardAuctions(day simclock.Day, k, n, nWin int, epoch uint64) {
+func (s *Sim) shardAuctions(day simclock.Day, k, n, nWin int, epoch uint64, live []bool) {
 	e := s.eng
 	sh := e.shards[k]
 	lo, hi := e.bounds(k, n)
@@ -388,14 +464,13 @@ func (s *Sim) shardAuctions(day simclock.Day, k, n, nWin int, epoch uint64) {
 	sh.clicks = sh.clicks[:0]
 	sh.events = sh.events[:0]
 	sh.pages = sh.pages[:0]
-	alive := func(id platform.AccountID) bool { return s.p.MustAccount(id).Alive() }
 	for gi := lo; gi < hi; gi++ {
-		pg := sh.page(s, &e.queries[gi], alive)
+		pg := sh.page(s, &e.queries[gi], live)
 		sp := servePage{pg: pg}
 		if len(pg.placements) > 0 {
 			sh.acc.Auctions++
-			for i := range pg.placements {
-				if s.p.MustAccount(pg.placements[i].Ref.Ad.Account).Fraud {
+			for _, a := range pg.accts {
+				if a.Fraud {
 					sp.fraudShown++
 				}
 			}
@@ -426,7 +501,7 @@ func (s *Sim) shardClicks(day simclock.Day, k, n int, stage bool) {
 			pl := &pg.placements[pi]
 			clicked := rng.Bool(pg.cps[pi])
 			acctID := pl.Ref.Ad.Account
-			isFraud := s.p.MustAccount(acctID).Fraud
+			isFraud := pg.accts[pi].Fraud
 			fraudComp := sp.fraudShown > 0
 			if isFraud {
 				fraudComp = sp.fraudShown > 1

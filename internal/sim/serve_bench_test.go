@@ -109,6 +109,10 @@ type ServingBenchMode struct {
 	MeasuredDays  int     `json:"measured_days"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	NsPerQuery    float64 `json:"ns_per_query"`
+	// AllocsPerDay counts heap allocations per served day (process-wide
+	// Mallocs delta bracketing the measured loop, so worker-goroutine
+	// allocations are included).
+	AllocsPerDay float64 `json:"allocs_per_day"`
 }
 
 // ServingBenchReport is the BENCH_serving.json schema.
@@ -130,18 +134,21 @@ func measureServing(tb testing.TB, state []byte, day simclock.Day, qpd, workers,
 	s := restoreServing(tb, state, workers)
 	s.p.Index().BumpEpoch()
 	s.serveQueries(day) // untimed shakedown: page allocations, buffer growth
+	m0 := mallocs()     // two MemStats reads bracket the loop, outside the timing
 	start := time.Now()
 	for i := 0; i < days; i++ {
 		s.p.Index().BumpEpoch()
 		s.serveQueries(day)
 	}
 	elapsed := time.Since(start)
+	allocs := mallocs() - m0
 	served := float64(days) * float64(qpd)
 	return ServingBenchMode{
 		Workers:       workers,
 		MeasuredDays:  days,
 		QueriesPerSec: served / elapsed.Seconds(),
 		NsPerQuery:    float64(elapsed.Nanoseconds()) / served,
+		AllocsPerDay:  float64(allocs) / float64(days),
 	}
 }
 
@@ -213,6 +220,9 @@ func TestServingBenchReportSmoke(t *testing.T) {
 	for _, m := range rep.Modes {
 		if m.QueriesPerSec <= 0 || m.NsPerQuery <= 0 {
 			t.Fatalf("degenerate measurement: %+v", m)
+		}
+		if m.AllocsPerDay <= 0 {
+			t.Fatalf("allocation bracket measured nothing: %+v", m)
 		}
 	}
 	b, err := json.Marshal(rep)

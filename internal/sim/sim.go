@@ -213,6 +213,7 @@ type Sim struct {
 	seeded  bool
 	started time.Time
 	timing  *PhaseTimes
+	allocs  *PhaseAllocs
 
 	res Result
 }
@@ -459,11 +460,19 @@ func (s *Sim) Step() bool {
 	for s.day == day {
 		s.StepPhase()
 	}
-	if s.cfg.Progress != nil && int(day)%30 == 29 {
-		s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
-			day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, s.fraudLive))
-	}
+	s.emitProgress(day)
 	return s.day < s.cfg.Days
+}
+
+// emitProgress reports the every-30-days progress line. The nil guard
+// lives here, ahead of the fmt.Sprintf, so the common no-callback run
+// never pays the string build and its interface-boxing allocations.
+func (s *Sim) emitProgress(day simclock.Day) {
+	if s.cfg.Progress == nil || int(day)%30 != 29 {
+		return
+	}
+	s.cfg.Progress(fmt.Sprintf("day %d/%d (%s): accounts=%d monitored=%d liveAds=%d clicks=%d fraudClicks=%d fraudAlive=%d",
+		day+1, s.cfg.Days, day.Label(), s.p.NumAccounts(), s.pipeline.Monitored(), s.p.LiveAds(), s.res.Clicks, s.res.FraudClicks, s.fraudLive))
 }
 
 // Finish seals the result after the last Step. Elapsed covers only this
